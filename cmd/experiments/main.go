@@ -1,0 +1,70 @@
+// Command experiments regenerates the paper's tables and figures and prints
+// each with the paper's published numbers alongside.
+//
+// Usage:
+//
+//	experiments                 # run everything at full scale
+//	experiments -only F3,T4     # a subset
+//	experiments -scale 0.5      # smaller, faster workloads
+//	experiments -out EXPERIMENTS.out.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ccnuma/internal/report"
+)
+
+func main() {
+	var (
+		scale = flag.Float64("scale", 1.0, "workload scale factor")
+		seed  = flag.Uint64("seed", 42, "random seed")
+		only  = flag.String("only", "", "comma-separated experiment ids (default all)")
+		out   = flag.String("out", "", "also write the report to this file")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range report.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	h := report.NewHarness(*scale, *seed)
+	var doc strings.Builder
+	run := func(e report.Experiment) {
+		start := time.Now()
+		body := e.Run(h)
+		fmt.Fprintf(&doc, "## %s — %s\n\n%s\n", e.ID, e.Title, body)
+		fmt.Printf("== %s — %s (%v)\n\n%s\n", e.ID, e.Title, time.Since(start).Round(time.Millisecond), body)
+	}
+
+	if *only == "" {
+		for _, e := range report.Experiments() {
+			run(e)
+		}
+	} else {
+		for _, id := range strings.Split(*only, ",") {
+			e, err := report.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			run(e)
+		}
+	}
+
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(doc.String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *out)
+	}
+}

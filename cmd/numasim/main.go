@@ -1,0 +1,249 @@
+// Command numasim runs one of the paper's workloads on the simulated
+// CC-NUMA machine under a chosen placement policy and prints the
+// execution-time breakdown.
+//
+// Usage:
+//
+//	numasim -workload engineering -policy migrep -duration 400ms
+//	numasim -workload raytrace -policy ft -config ccnow -v
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ccnuma/internal/core"
+	"ccnuma/internal/policy"
+	"ccnuma/internal/sim"
+	"ccnuma/internal/stats"
+	"ccnuma/internal/topology"
+	"ccnuma/internal/workload"
+)
+
+func main() {
+	var (
+		wl       = flag.String("workload", "engineering", "workload: engineering|raytrace|splash|database|pmake")
+		pol      = flag.String("policy", "migrep", "policy: rr|ft|migr|repl|migrep")
+		cfgName  = flag.String("config", "ccnuma", "machine: ccnuma|ccnow|zeronet")
+		scale    = flag.Float64("scale", 1.0, "workload scale factor")
+		seed     = flag.Uint64("seed", 42, "random seed")
+		dur      = flag.Duration("duration", 0, "run length in simulated time (0 = workload default)")
+		trigger  = flag.Uint("trigger", 0, "trigger threshold override (0 = workload default)")
+		metric   = flag.String("metric", "fc", "counter metric: fc|sc|ft|st")
+		track    = flag.Bool("track-tlb", false, "flush only TLBs holding a mapping (ablation)")
+		dircopy  = flag.Bool("dir-copy", false, "use the directory's pipelined page copy (ablation)")
+		verbose  = flag.Bool("v", false, "print per-CPU and contention detail")
+		tracePth = flag.String("trace", "", "write the miss trace to this file")
+		adaptive = flag.Bool("adaptive", false, "adaptive trigger threshold (extension)")
+		reclaim  = flag.Bool("reclaim", false, "reclaim cold replicas each interval (extension)")
+		wshared  = flag.Bool("mig-wshared", false, "migrate write-shared pages (extension)")
+		noremap  = flag.Bool("no-remap", false, "disable the pte remap action (paper behaviour)")
+		jsonOut  = flag.Bool("json", false, "emit the result as JSON instead of text")
+	)
+	flag.Parse()
+
+	build, err := workload.ByName(*wl)
+	if err != nil {
+		fatal(err)
+	}
+	spec := build(*scale, *seed)
+
+	var cfg topology.Config
+	switch *cfgName {
+	case "ccnuma":
+		cfg = topology.CCNUMA()
+	case "ccnow":
+		cfg = topology.CCNOW()
+	case "zeronet":
+		cfg = topology.ZeroNet()
+	default:
+		fatal(fmt.Errorf("unknown config %q", *cfgName))
+	}
+	cfg.TrackTLBHolders = *track
+	cfg.DirCopy = *dircopy
+
+	opt := core.Options{
+		Config:       cfg,
+		Seed:         *seed,
+		Duration:     sim.Time(dur.Nanoseconds()),
+		CollectTrace: *tracePth != "",
+	}
+	switch *metric {
+	case "fc":
+		opt.Metric = core.FullCache
+	case "sc":
+		opt.Metric = core.SampledCache
+	case "ft":
+		opt.Metric = core.FullTLB
+	case "st":
+		opt.Metric = core.SampledTLB
+	default:
+		fatal(fmt.Errorf("unknown metric %q", *metric))
+	}
+	switch *pol {
+	case "rr":
+		opt.RoundRobin = true
+	case "ft":
+	case "migr", "repl", "migrep":
+		opt.Dynamic = true
+		opt.Params = policy.Base().WithTrigger(spec.Trigger)
+		if *trigger > 0 {
+			opt.Params = opt.Params.WithTrigger(uint16(*trigger))
+		}
+		if *pol == "migr" {
+			opt.Params = opt.Params.MigrationOnly()
+		}
+		if *pol == "repl" {
+			opt.Params = opt.Params.ReplicationOnly()
+		}
+		opt.Params.MigrateWriteShared = *wshared
+		opt.Params.DisableRemap = *noremap
+		opt.AdaptiveTrigger = *adaptive
+		opt.ReclaimColdReplicas = *reclaim
+	default:
+		fatal(fmt.Errorf("unknown policy %q", *pol))
+	}
+
+	start := time.Now()
+	res, err := core.Run(spec, opt)
+	if err != nil {
+		fatal(err)
+	}
+	wall := time.Since(start)
+
+	if *jsonOut {
+		printJSON(res)
+		return
+	}
+	printResult(res, *verbose)
+	fmt.Printf("\n(simulated %v in %v wall, %d events, %d steps)\n", res.Elapsed, wall.Round(time.Millisecond), res.Events, res.Steps)
+
+	if *tracePth != "" && res.Trace != nil {
+		f, err := os.Create(*tracePth)
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.Trace.Write(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace: %d records -> %s\n", res.Trace.Len(), *tracePth)
+	}
+}
+
+func printResult(r *core.Result, verbose bool) {
+	b := &r.Agg
+	tot := b.Total()
+	l2, local, remote := b.MemStall()
+	fmt.Printf("workload %s  policy %s  machine time %v (8-CPU aggregate %v)\n",
+		r.Workload, r.Policy, r.Elapsed, tot)
+	fmt.Printf("  non-idle %v (%.1f%%)  idle %v (%.1f%%)\n",
+		b.NonIdle(), pct(b.NonIdle(), tot), b.Idle, pct(b.Idle, tot))
+	ni := b.NonIdle()
+	fmt.Printf("  compute: user %v (%.1f%% ni)  kernel %v (%.1f%% ni)\n",
+		b.Compute[stats.User], pct(b.Compute[stats.User], ni),
+		b.Compute[stats.Kernel], pct(b.Compute[stats.Kernel], ni))
+	fmt.Printf("  stall:   L2 %v (%.1f%%)  local %v (%.1f%%)  remote %v (%.1f%%)\n",
+		l2, pct(l2, ni), local, pct(local, ni), remote, pct(remote, ni))
+	fmt.Printf("  stall by mode/side (%% ni): Kinstr %.1f Kdata %.1f Uinstr %.1f Udata %.1f\n",
+		pct(b.StallTime(stats.Kernel, stats.Instr), ni),
+		pct(b.StallTime(stats.Kernel, stats.Data), ni),
+		pct(b.StallTime(stats.User, stats.Instr), ni),
+		pct(b.StallTime(stats.User, stats.Data), ni))
+	fmt.Printf("  kernel handlers: tlb-refill %v  fault %v  pager %v (%.1f%% ni)\n",
+		b.TLBRefill, b.FaultTime, b.Pager.Total(), pct(b.Pager.Total(), ni))
+	fmt.Printf("  local miss fraction %.1f%%  avg remote latency %v\n",
+		100*r.LocalMissFraction, r.AvgRemoteLatency)
+	fmt.Printf("  sched migrations %d  vm: faults %d mig %d repl %d collapse %d remap %d\n",
+		r.SchedMigrations, r.VM.Faults, r.VM.Migrates, r.VM.Replics, r.VM.Collapses, r.VM.Remaps)
+	if r.Actions.HotPages > 0 {
+		mig, rep, none, nopage := r.Actions.Percent()
+		fmt.Printf("  hot pages %d: migrate %.0f%% replicate %.0f%% no-action %.0f%% no-page %.0f%%\n",
+			r.Actions.HotPages, mig, rep, none, nopage)
+	}
+	fmt.Printf("  alloc: peak base %d peak replica %d (overhead %.0f%%) failures %d\n",
+		r.Alloc.PeakBase, r.Alloc.PeakReplica, 100*r.Alloc.ReplicaOverhead(), r.Alloc.Failures)
+
+	if verbose {
+		fmt.Printf("  contention: remote handlers %d  avg net queue %.2f  max dir occ %.2f  avg local read %v\n",
+			r.Contention.RemoteHandlerInvocations, r.Contention.AvgNetQueue,
+			r.Contention.MaxDirOccupancy, r.Contention.AvgLocalReadLatency)
+		fmt.Printf("  memlock: %d acq, %d contended, wait %v; page locks: %d acq, wait %v\n",
+			r.Memlock.Acquisitions, r.Memlock.Contended, r.Memlock.WaitTime,
+			r.PageLocks.Acquisitions, r.PageLocks.WaitTime)
+		if r.Actions.HotPages > 0 {
+			fmt.Printf("  no-action reasons: local %d write-shared %d frozen %d wired %d disabled %d nopage %d\n",
+				r.Actions.ByReason[policy.ReasonLocal], r.Actions.ByReason[policy.ReasonWriteShared],
+				r.Actions.ByReason[policy.ReasonFrozen], r.Actions.ByReason[policy.ReasonWired],
+				r.Actions.ByReason[policy.ReasonDisabled], r.Actions.ByReason[policy.ReasonNoPage])
+			fmt.Println("  pager overhead by function:")
+			for f := 0; f < stats.NumPagerFuncs; f++ {
+				fn := stats.PagerFunc(f)
+				fmt.Printf("    %-16s %6.1f%%  (%v)\n", fn, b.Pager.Percent(fn), b.Pager.Time[fn])
+			}
+			for _, k := range []stats.OpKind{stats.OpReplicate, stats.OpMigrate} {
+				ol := b.Pager.OpLatency[k]
+				fmt.Printf("  %s ops %d  mean latency %.1fus\n", k, ol.Count, ol.MeanTotal())
+			}
+		}
+		for i := range r.PerCPU {
+			fmt.Printf("  cpu%d: %s\n", i, r.PerCPU[i].Summary())
+		}
+	}
+}
+
+// printJSON emits a machine-readable summary (per-CPU breakdowns omitted;
+// use the library for full detail).
+func printJSON(r *core.Result) {
+	_, local, remote := r.Agg.MemStall()
+	out := map[string]any{
+		"workload":            r.Workload,
+		"policy":              r.Policy,
+		"elapsed_ns":          int64(r.Elapsed),
+		"nonidle_ns":          int64(r.Agg.NonIdle()),
+		"idle_ns":             int64(r.Agg.Idle),
+		"stall_local_ns":      int64(local),
+		"stall_remote_ns":     int64(remote),
+		"pager_overhead_ns":   int64(r.Agg.Pager.Total()),
+		"local_miss_fraction": r.LocalMissFraction,
+		"avg_remote_ns":       int64(r.AvgRemoteLatency),
+		"sched_migrations":    r.SchedMigrations,
+		"steps":               r.Steps,
+		"vm": map[string]uint64{
+			"faults": r.VM.Faults, "migrations": r.VM.Migrates,
+			"replications": r.VM.Replics, "collapses": r.VM.Collapses,
+			"remaps": r.VM.Remaps,
+		},
+		"actions": map[string]uint64{
+			"hot_pages": r.Actions.HotPages, "migrate": r.Actions.Migrations,
+			"replicate": r.Actions.Replicas, "no_action": r.Actions.NoAction,
+			"no_page": r.Actions.NoPage,
+		},
+		"alloc": map[string]any{
+			"peak_base": r.Alloc.PeakBase, "peak_replica": r.Alloc.PeakReplica,
+			"replica_overhead": r.Alloc.ReplicaOverhead(),
+		},
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
+	}
+}
+
+func pct(a, b sim.Time) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "numasim:", err)
+	os.Exit(1)
+}

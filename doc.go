@@ -1,0 +1,22 @@
+// Package ccnuma is a reproduction of "Operating System Support for
+// Improving Data Locality on CC-NUMA Compute Servers" (Verghese, Devine,
+// Gupta, Rosenblum — ASPLOS 1996): an event-driven CC-NUMA machine
+// simulator, an IRIX-like VM/kernel substrate, the paper's dynamic page
+// migration/replication policy, the five evaluation workloads, and a
+// trace-driven policy simulator.
+//
+// Layout:
+//
+//	internal/core      — the assembled system: build a workload, run it, read the results
+//	internal/policy    — the Figure-1 decision tree and Table-1 parameters
+//	internal/kernel/*  — VM (replica chains, ptes, back-maps), allocator, schedulers, pager
+//	internal/{cache,tlb,directory,interconnect,topology,sim} — the machine model
+//	internal/workload  — the five Table-2 workload models
+//	internal/{trace,tracesim} — the Section-8 trace methodology
+//	internal/report    — regenerates every table and figure with paper-vs-measured output
+//	cmd/{numasim,tracesim,experiments} — the executables
+//
+// The benchmarks in bench_test.go regenerate each of the paper's tables and
+// figures; see DESIGN.md for the experiment index and EXPERIMENTS.md for
+// recorded paper-vs-measured results.
+package ccnuma

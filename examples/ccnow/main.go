@@ -1,0 +1,45 @@
+// Latency sensitivity: CC-NUMA vs CC-NOW vs zero-network-delay.
+//
+// The policy's benefit scales with the remote:local latency ratio — 4:1 on
+// the CC-NUMA machine, 10:1 on the CC-NOW configuration (Section 7.1.3) —
+// yet it still pays on a machine with no network delay at all, because
+// locality also drains contention out of the directories (Section 7.1.2).
+//
+//	go run ./examples/ccnow
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ccnuma/internal/core"
+	"ccnuma/internal/topology"
+	"ccnuma/internal/workload"
+)
+
+func main() {
+	const scale, seed = 0.5, 42
+
+	for _, cfg := range []topology.Config{topology.CCNUMA(), topology.CCNOW(), topology.ZeroNet()} {
+		ft, err := core.Run(workload.Engineering(scale, seed), core.Options{Seed: seed, Config: cfg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		mr, err := core.Run(workload.Engineering(scale, seed), core.Options{Seed: seed, Config: cfg, Dynamic: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		stall := func(r *core.Result) float64 {
+			_, l, rem := r.Agg.MemStall()
+			return float64(l + rem)
+		}
+		fmt.Printf("%-9s remote min %v: busy %v -> %v (%.1f%% better), stall -%.1f%%, observed remote %v\n",
+			cfg.Name, cfg.RemoteLatency,
+			ft.Agg.NonIdle(), mr.Agg.NonIdle(),
+			100*float64(ft.Agg.NonIdle()-mr.Agg.NonIdle())/float64(ft.Agg.NonIdle()),
+			100*(stall(ft)-stall(mr))/stall(ft),
+			ft.AvgRemoteLatency)
+	}
+	fmt.Println("\nPaper: CC-NOW improves 30% (53% stall); even with zero network delay the")
+	fmt.Println("policy wins 21% because contention for directory controllers drops.")
+}

@@ -1,0 +1,52 @@
+// Kernel locality study (Section 8.2): can the operating system's own pages
+// profit from migration and replication?
+//
+// IRIX loads the kernel at boot, unmapped by the TLB, so the paper cannot
+// actually move kernel pages; instead it records the pmake workload's kernel
+// misses and replays them through the trace-driven policy simulator. This
+// example reproduces that methodology: the answer is "barely" — per-CPU
+// structures are local by construction (first touch already wins), shared
+// kernel data is write-shared (unhelpable), and only kernel text (a small
+// fraction of the misses) replicates usefully.
+//
+//	go run ./examples/kernel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ccnuma/internal/core"
+	"ccnuma/internal/trace"
+	"ccnuma/internal/tracesim"
+	"ccnuma/internal/workload"
+)
+
+func main() {
+	const scale, seed = 0.5, 42
+
+	res, err := core.Run(workload.Pmake(scale, seed), core.Options{Seed: seed, CollectTrace: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	kernel := res.Trace.KernelOnly()
+	fmt.Println("pmake kernel miss trace:")
+	fmt.Print(trace.Summarize(kernel, 3))
+
+	s := trace.Summarize(kernel, 0)
+	fmt.Printf("\nkernel text share of kernel misses: %.0f%% (the paper reports ~12%%)\n\n",
+		100*float64(s.IFetches)/float64(s.CacheMisses))
+
+	cfg := tracesim.DefaultConfig(8)
+	outs := tracesim.SimulateAll(kernel, cfg)
+	base := outs[0].Total()
+	fmt.Println("policies over kernel misses (normalized to round-robin):")
+	for _, o := range outs {
+		fmt.Printf("  %-7s %.3f   local %5.1f%%  moves %d\n",
+			o.Policy, float64(o.Total())/float64(base), 100*o.LocalFraction(),
+			o.Migrations+o.Replications+o.Collapses)
+	}
+	fmt.Println("\nPaper: \"there is almost no benefit beyond first touch\" — FT already")
+	fmt.Println("places per-CPU kernel structures locally, and the shared kernel data")
+	fmt.Println("is too write-shared to move. The small residual win is kernel text.")
+}

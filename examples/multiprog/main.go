@@ -1,0 +1,57 @@
+// Migration case study: multiprogramming strands private data.
+//
+// The engineering workload runs twelve sequential jobs on eight CPUs under
+// affinity scheduling. When the load balancer moves a job, every private
+// page it first-touched stays behind on the old node; migration brings the
+// data along, and replication handles the shared program text of the six
+// concurrent copies of each binary. Both mechanisms are needed — the paper's
+// central claim.
+//
+//	go run ./examples/multiprog
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ccnuma/internal/core"
+	"ccnuma/internal/policy"
+	"ccnuma/internal/workload"
+)
+
+func main() {
+	const scale, seed = 0.5, 42
+
+	type variant struct {
+		name string
+		opt  core.Options
+	}
+	base := policy.Base().WithTrigger(96) // the paper's engineering trigger
+	variants := []variant{
+		{"FT", core.Options{Seed: seed}},
+		{"Migr-only", core.Options{Seed: seed, Dynamic: true, Params: base.MigrationOnly()}},
+		{"Repl-only", core.Options{Seed: seed, Dynamic: true, Params: base.ReplicationOnly()}},
+		{"Mig/Rep", core.Options{Seed: seed, Dynamic: true, Params: base}},
+	}
+
+	fmt.Println("engineering workload: 12 sequential jobs, 8 CPUs, affinity scheduling")
+	fmt.Println()
+	var ftBusy float64
+	for _, v := range variants {
+		res, err := core.Run(workload.Engineering(scale, seed), v.opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		busy := float64(res.Agg.NonIdle())
+		if v.name == "FT" {
+			ftBusy = busy
+		}
+		_, local, remote := res.Agg.MemStall()
+		fmt.Printf("%-10s nonidle %v (%+5.1f%%)  stall l/r %v/%v  local %4.1f%%  proc moves %d  page mig %d  repl %d\n",
+			v.name, res.Agg.NonIdle(), 100*(busy-ftBusy)/ftBusy,
+			local, remote, 100*res.LocalMissFraction,
+			res.SchedMigrations, res.VM.Migrates, res.VM.Replics)
+	}
+	fmt.Println("\nPaper (Figure 6): neither migration nor replication alone suffices for")
+	fmt.Println("engineering; the combined policy reduced execution time 29%.")
+}

@@ -1,0 +1,59 @@
+// Replication case study: why a read-shared scene wants page replication.
+//
+// The raytrace workload pins one worker per processor; the master
+// initialises the whole scene, so first-touch placement strands it on node
+// 0. The example shows (a) the read-chain evidence (Figure 4) that the
+// scene is replication-friendly, and (b) how the three dynamic policies
+// compare — migration alone barely helps a page that everyone reads.
+//
+//	go run ./examples/raytrace
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ccnuma/internal/core"
+	"ccnuma/internal/policy"
+	"ccnuma/internal/trace"
+	"ccnuma/internal/workload"
+)
+
+func main() {
+	const scale, seed = 0.5, 42
+
+	// One instrumented first-touch run provides both the baseline numbers
+	// and the miss trace for the read-chain analysis.
+	ft, err := core.Run(workload.Raytrace(scale, seed),
+		core.Options{Seed: seed, CollectTrace: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	chains := trace.ReadChains(ft.Trace.UserOnly(), trace.DefaultThresholds)
+	fmt.Println("read chains (fraction of data misses in chains of length >= L):")
+	for i, th := range chains.Thresholds {
+		fmt.Printf("  L >= %-5d %5.1f%%\n", th, 100*chains.FractionAtLeast[i])
+	}
+	fmt.Printf("long chains mean reads keep arriving between writes: replication pays.\n\n")
+
+	run := func(name string, p policy.Params) {
+		res, err := core.Run(workload.Raytrace(scale, seed),
+			core.Options{Seed: seed, Dynamic: true, Params: p})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s nonidle %v  local %5.1f%%  mig %4d  repl %4d  hot-page actions: ",
+			name, res.Agg.NonIdle(), 100*res.LocalMissFraction, res.VM.Migrates, res.VM.Replics)
+		m, r, n, np := res.Actions.Percent()
+		fmt.Printf("%2.0f%% mig %2.0f%% repl %2.0f%% none %2.0f%% nopage\n", m, r, n, np)
+	}
+
+	base := policy.Base()
+	fmt.Printf("%-10s nonidle %v  local %5.1f%%  (baseline)\n", "FT", ft.Agg.NonIdle(), 100*ft.LocalMissFraction)
+	run("Migr", base.MigrationOnly())
+	run("Repl", base.ReplicationOnly())
+	run("Mig/Rep", base)
+	fmt.Println("\nPaper: raytrace gains come almost entirely from replication; 60% of its")
+	fmt.Println("data misses sit in read chains of 512+ misses (Figure 4).")
+}

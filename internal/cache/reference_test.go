@@ -1,0 +1,109 @@
+package cache
+
+import (
+	"testing"
+
+	"ccnuma/internal/mem"
+	"ccnuma/internal/sim"
+)
+
+// refCache is an obviously-correct (slow) set-associative LRU model used to
+// differentially test the production cache: per set, an ordered slice of
+// currently-valid tags, MRU first.
+type refCache struct {
+	sets  int
+	assoc int
+	ways  [][]mem.GLine
+	val   *Validity
+	stamp map[mem.GLine][2]uint32 // version, epoch at fill time
+}
+
+func newRefCache(size, assoc int, val *Validity) *refCache {
+	lines := size / mem.LineSize
+	return &refCache{
+		sets:  lines / assoc,
+		assoc: assoc,
+		ways:  make([][]mem.GLine, lines/assoc),
+		val:   val,
+		stamp: map[mem.GLine][2]uint32{},
+	}
+}
+
+func (r *refCache) set(l mem.GLine) int { return int(uint64(l) % uint64(r.sets)) }
+
+func (r *refCache) lookup(l mem.GLine) bool {
+	s := r.set(l)
+	for i, tag := range r.ways[s] {
+		if tag != l {
+			continue
+		}
+		st := r.stamp[l]
+		if st[0] != r.val.LineVersion(l) || st[1] != r.val.PageEpoch(l.Page()) {
+			// Stale: drop and miss.
+			r.ways[s] = append(r.ways[s][:i], r.ways[s][i+1:]...)
+			return false
+		}
+		// Move to MRU.
+		r.ways[s] = append([]mem.GLine{l}, append(r.ways[s][:i], r.ways[s][i+1:]...)...)
+		return true
+	}
+	return false
+}
+
+func (r *refCache) insert(l mem.GLine, version uint32) {
+	s := r.set(l)
+	for i, tag := range r.ways[s] {
+		if tag == l {
+			r.ways[s] = append(r.ways[s][:i], r.ways[s][i+1:]...)
+			break
+		}
+	}
+	r.ways[s] = append([]mem.GLine{l}, r.ways[s]...)
+	if len(r.ways[s]) > r.assoc {
+		r.ways[s] = r.ways[s][:r.assoc]
+	}
+	r.stamp[l] = [2]uint32{version, r.val.PageEpoch(l.Page())}
+}
+
+// TestCacheMatchesReferenceModel drives the production cache and the
+// reference model with identical random operation streams and requires
+// identical hit/miss behaviour throughout.
+func TestCacheMatchesReferenceModel(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		rng := sim.NewRand(seed)
+		const pages = 16
+		val := NewValidity(pages)
+		c := New("dut", 4096, 2, val)
+		ref := newRefCache(4096, 2, val)
+		for i := 0; i < 20000; i++ {
+			l := mem.GPage(rng.Intn(pages)).Line(rng.Intn(mem.LinesPerPage))
+			switch rng.Intn(5) {
+			case 0: // read fill path
+				got := c.Lookup(l)
+				want := ref.lookup(l)
+				if got != want {
+					t.Fatalf("seed %d op %d: lookup(%d) = %v, reference %v", seed, i, l, got, want)
+				}
+				if !got {
+					v := val.LineVersion(l)
+					c.Insert(l, v)
+					ref.insert(l, v)
+				}
+			case 1: // write (bump + refresh own copy)
+				v := val.BumpLine(l)
+				c.Insert(l, v)
+				ref.insert(l, v)
+			case 2: // remote write invalidates everyone
+				val.BumpLine(l)
+			case 3: // page migration/collapse
+				val.BumpPage(l.Page())
+			case 4: // pure probe
+				got := c.Lookup(l)
+				want := ref.lookup(l)
+				if got != want {
+					t.Fatalf("seed %d op %d: probe(%d) = %v, reference %v", seed, i, l, got, want)
+				}
+			}
+		}
+	}
+}

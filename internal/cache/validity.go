@@ -1,0 +1,58 @@
+// Package cache models the processor cache hierarchy: split 32 KB two-way
+// L1 instruction and data caches and a unified 512 KB two-way L2, all with
+// 128-byte lines, as configured for the FLASH machine in the paper.
+//
+// Caches are indexed by global logical line (mem.GLine) rather than physical
+// address. Correctness under sharing and page movement is preserved by two
+// validity stamps carried in every cache entry:
+//
+//   - a line version, bumped whenever any processor writes the line, which
+//     invalidates all other cached copies (directory-based invalidation
+//     coherence at line grain);
+//   - a page epoch, bumped whenever the kernel migrates or collapses the
+//     page, which invalidates every cached line of the page (the physical
+//     copy moved, so physically-tagged caches would refetch).
+//
+// Replication does not bump the epoch: processors still mapped to the master
+// keep hitting their cached lines, exactly as on real hardware where the
+// master's physical address is unchanged.
+package cache
+
+import "ccnuma/internal/mem"
+
+// Validity holds the machine-wide stamps that cache entries are checked
+// against. One Validity instance is shared by every cache in the machine.
+type Validity struct {
+	lineVersion []uint32 // indexed by mem.GLine
+	pageEpoch   []uint32 // indexed by mem.GPage
+}
+
+// NewValidity sizes the stamp tables for a machine with pages logical pages.
+func NewValidity(pages int) *Validity {
+	return &Validity{
+		lineVersion: make([]uint32, pages*mem.LinesPerPage),
+		pageEpoch:   make([]uint32, pages),
+	}
+}
+
+// Pages returns the number of logical pages the tables cover.
+func (v *Validity) Pages() int { return len(v.pageEpoch) }
+
+// LineVersion returns the current version of a line.
+func (v *Validity) LineVersion(l mem.GLine) uint32 { return v.lineVersion[l] }
+
+// BumpLine registers a write to the line and returns the new version. Every
+// cached copy with an older version becomes stale.
+func (v *Validity) BumpLine(l mem.GLine) uint32 {
+	v.lineVersion[l]++
+	return v.lineVersion[l]
+}
+
+// PageEpoch returns the current placement epoch of a page.
+func (v *Validity) PageEpoch(p mem.GPage) uint32 { return v.pageEpoch[p] }
+
+// BumpPage registers a migration or collapse of the page, invalidating all
+// cached lines of the page machine-wide.
+func (v *Validity) BumpPage(p mem.GPage) {
+	v.pageEpoch[p]++
+}

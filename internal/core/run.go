@@ -1,0 +1,345 @@
+package core
+
+import (
+	"ccnuma/internal/cache"
+	"ccnuma/internal/kernel/alloc"
+	"ccnuma/internal/kernel/sched"
+	"ccnuma/internal/kernel/vm"
+	"ccnuma/internal/mem"
+	"ccnuma/internal/sim"
+	"ccnuma/internal/stats"
+	"ccnuma/internal/trace"
+	"ccnuma/internal/workload"
+)
+
+// rebalancePeriod is how often the affinity scheduler's load balancer runs.
+const rebalancePeriod = 30 * sim.Millisecond
+
+// cyclesPerStep is the compute charged per generator step, in CPU cycles.
+// One step models a small group of instructions containing one memory-system
+// access (one cache-line touch).
+const cyclesPerStep = 4
+
+func (s *System) schedule(c *cpuState, at sim.Time) {
+	s.eng.At(at, func(now sim.Time) { s.step(c, now) })
+}
+
+// step is one CPU's event: pending shootdown charges, queued pager work,
+// scheduling, and then up to sliceMax of reference execution.
+func (s *System) step(c *cpuState, now sim.Time) {
+	if s.finished() {
+		return // the workload completed; stop this CPU's event chain
+	}
+	t := now
+	if c.flushCharge > 0 {
+		c.bd.Pager.Add(stats.FnTLBFlush, c.flushCharge)
+		t += c.flushCharge
+		c.flushCharge = 0
+	}
+	if c.extraDelay > 0 {
+		// Kernel work performed on this CPU's behalf at an interval
+		// boundary (cold-replica reclamation); the categories were already
+		// recorded, only the time passes here.
+		t += c.extraDelay
+		c.extraDelay = 0
+	}
+	if len(c.pagerWork) > 0 && s.pg != nil {
+		batch := c.pagerWork[0]
+		c.pagerWork = c.pagerWork[1:]
+		dt := s.pg.HandleBatch(t, c.id, batch, &c.bd)
+		s.schedule(c, t+dt)
+		return
+	}
+	if c.cur == nil {
+		next := s.schedul.Next(c.id)
+		if next == nil {
+			c.idle = true
+			c.bd.Idle += idleTick
+			s.schedule(c, t+idleTick)
+			return
+		}
+		c.idle = false
+		c.cur = s.procs[next.ID]
+		c.bd.Compute[stats.Kernel] += ctxSwitch
+		t += ctxSwitch
+		c.quantum = t + s.opt.Quantum
+	}
+	p := c.cur
+	if p.spec.ExitAt > 0 && t >= p.spec.ExitAt {
+		s.exitProc(p)
+		c.cur = nil
+		s.schedule(c, t)
+		return
+	}
+
+	sliceEnd := t + sliceMax
+	for t < sliceEnd {
+		if t >= c.quantum {
+			s.schedul.Yield(p.sp)
+			c.cur = nil
+			break
+		}
+		st := p.gen.Next(c.id)
+		switch st.Kind {
+		case workload.StepExit:
+			s.exitProc(p)
+			c.cur = nil
+		case workload.StepBlock:
+			s.schedul.Block(p.sp)
+			c.cur = nil
+			wake := p
+			s.eng.At(t+st.Dur, func(sim.Time) {
+				if wake.alive {
+					s.schedul.MakeRunnable(wake.sp)
+				}
+			})
+		case workload.StepAccess:
+			var missed bool
+			t, missed = s.access(c, p, st, t)
+			if missed {
+				// Yield the event loop after every memory miss so resource
+				// contention across CPUs interleaves in time order.
+				s.schedule(c, t)
+				return
+			}
+			continue
+		}
+		break
+	}
+	s.schedule(c, t)
+}
+
+// access runs one memory reference through TLB, caches, and (on a full
+// miss) the NUMA memory system, charging all latencies and feeding the
+// policy counters and the trace.
+func (s *System) access(c *cpuState, p *procState, st workload.Step, t sim.Time) (sim.Time, bool) {
+	mode := stats.User
+	if st.Kernel {
+		mode = stats.Kernel
+	}
+	side := stats.Data
+	if st.Access.IsInstr() {
+		side = stats.Instr
+	}
+	c.steps++
+	comp := s.cfg.CycleTime * cyclesPerStep
+	c.bd.Compute[mode] += comp
+	t += comp
+
+	page := st.Page
+	pi := s.vmm.Page(page)
+	wired := pi.Flags&vm.Wired != 0
+	var pfn mem.PFN
+	if wired {
+		pfn = pi.Master
+	} else {
+		var ro, ok bool
+		pfn, ro, ok = c.tlb.Lookup(p.vmID, page)
+		if !ok {
+			c.bd.TLBRefill += s.cfg.TLBRefill
+			t += s.cfg.TLBRefill
+			if s.tracer != nil {
+				s.tracer.Append(trace.Record{At: t, Page: page, CPU: c.id,
+					Kind: st.Access, Kernel: st.Kernel, Src: trace.TLBMiss})
+			}
+			pte, kind := s.vmm.Touch(p.vmID, page, c.node)
+			if !s.opt.Metric.CacheDriven() {
+				s.counters.Record(page, c.id, st.Access.IsWrite(),
+					s.cfg.NodeOfFrame(pte.PFN) != c.node)
+			}
+			if kind != vm.NoFault {
+				c.bd.FaultTime += s.cfg.Kernel.PageFault
+				t += s.cfg.Kernel.PageFault
+				if s.opt.ReplicateCodeOnFirstTouch {
+					pte = s.codeFirstTouchReplica(p, page, pte)
+				}
+			}
+			pfn, ro = pte.PFN, pte.RO
+			c.tlb.Insert(p.vmID, page, pfn, ro)
+		}
+		if pi.TransitUntil > t {
+			// The page is locked by an in-flight pager operation. Reads
+			// still see the old (valid) copy; a write spins until the
+			// operation completes, and a reference that needed a fresh
+			// translation pays an extra fault (Table 6's Page Fault
+			// category: "additional page faults, due to changes in
+			// mappings").
+			if st.Access.IsWrite() {
+				c.bd.Pager.Add(stats.FnPageFault, pi.TransitUntil-t)
+				t = pi.TransitUntil
+			} else if !ok {
+				c.bd.Pager.Add(stats.FnPageFault, s.cfg.Kernel.PageFault)
+				t += s.cfg.Kernel.PageFault
+			}
+		}
+		if st.Access.IsWrite() && ro {
+			// Protection trap: collapse the replicas, then retry.
+			if s.pg != nil {
+				t += s.pg.CollapseWrite(t, c.id, page, &c.bd)
+			}
+			pte, _ := s.vmm.Touch(p.vmID, page, c.node)
+			pfn = pte.PFN
+			c.tlb.Insert(p.vmID, page, pfn, pte.RO)
+		}
+	}
+
+	line := page.Line(int(st.Line) % mem.LinesPerPage)
+	missed := false
+	switch c.caches.Access(line, st.Access) {
+	case cache.HitL1:
+		// First-level hits are folded into the compute charge.
+	case cache.HitL2:
+		c.bd.AddStall(mode, side, stats.L2, s.cfg.L2Hit)
+		t += s.cfg.L2Hit
+	case cache.Miss:
+		missed = true
+		home := s.cfg.NodeOfFrame(pfn)
+		lat, remote := s.mems.Access(t, c.id, home, st.Access)
+		lvl := stats.LocalMem
+		if remote {
+			lvl = stats.RemoteMem
+		}
+		c.bd.AddStall(mode, side, lvl, lat)
+		t += lat
+		if s.tracer != nil {
+			s.tracer.Append(trace.Record{At: t, Page: page, CPU: c.id,
+				Kind: st.Access, Kernel: st.Kernel, Src: trace.CacheMiss})
+		}
+		if !wired && s.opt.Metric.CacheDriven() {
+			s.counters.Record(page, c.id, st.Access.IsWrite(), remote)
+		}
+	}
+	return t, missed
+}
+
+// codeFirstTouchReplica implements the replicate-code-on-first-touch
+// ablation (Section 7.2.3): the first fault of a code page from a node
+// without a copy creates a replica there immediately.
+func (s *System) codeFirstTouchReplica(p *procState, page mem.GPage, pte vm.PTE) vm.PTE {
+	pi := s.vmm.Page(page)
+	if pi.Flags&vm.Code == 0 || pi.Flags&vm.Wired != 0 {
+		return pte
+	}
+	node := s.cfg.NodeOf(p.sp.LastCPU)
+	if s.vmm.HasReplicaOn(page, node) {
+		return pte
+	}
+	f := s.allocs.AllocOn(node, alloc.Replica)
+	if f == mem.NoFrame {
+		return pte
+	}
+	if s.vmm.Replicate(page, f) != nil {
+		s.allocs.Free(f)
+		return pte
+	}
+	return s.vmm.PTE(p.vmID, page)
+}
+
+// Run executes the workload to the configured deadline and returns the
+// measurements.
+func (s *System) Run() (*Result, error) {
+	for i := range s.spec.Procs {
+		ps := &s.spec.Procs[i]
+		if ps.StartAt <= 0 {
+			s.addProc(ps)
+		} else {
+			ps := ps
+			s.pendingSpawns++
+			s.eng.At(ps.StartAt, func(sim.Time) {
+				s.pendingSpawns--
+				s.addProc(ps)
+			})
+		}
+	}
+	s.preTouch()
+
+	if s.pg != nil {
+		s.eng.Every(s.opt.Params.ResetInterval, func(now sim.Time) {
+			if s.pg.ReclaimCold {
+				// Reclaim while this interval's sharing information is
+				// still in the counters; the kernel time lands on CPU 0.
+				c0 := s.cpus[0]
+				c0.extraDelay += s.pg.ReclaimColdReplicas(now, c0.id, &c0.bd)
+			}
+			s.pg.ResetInterval()
+		}, func() bool { return s.finished() || s.eng.Now() >= s.deadline })
+	}
+	if aff, ok := s.schedul.(*sched.Affinity); ok {
+		// Periodic load balancing (UNIX priority decay): the process
+		// movement that makes private pages remote.
+		s.eng.Every(rebalancePeriod, func(sim.Time) {
+			aff.Rebalance()
+		}, func() bool { return s.finished() || s.eng.Now() >= s.deadline })
+	}
+	for _, c := range s.cpus {
+		c := c
+		s.eng.At(0, func(now sim.Time) { s.step(c, now) })
+	}
+	s.eng.RunUntil(s.deadline)
+	if s.tracer != nil {
+		s.tracer.Sort()
+	}
+	elapsed := s.completedAt
+	if elapsed == 0 {
+		elapsed = s.deadline // hit the cap without completing
+	}
+
+	res := &Result{
+		Workload:          s.spec.Name,
+		Policy:            s.policyName(),
+		Elapsed:           elapsed,
+		PerCPU:            make([]stats.Breakdown, len(s.cpus)),
+		VM:                s.vmm.Snapshot(),
+		Alloc:             s.allocs.Snapshot(),
+		Counters:          s.counters.Stats(),
+		Memlock:           s.locks.Memlock.Snapshot(),
+		PageLocks:         s.locks.PageLockStats(),
+		SchedMigrations:   s.schedul.Migrations(),
+		Contention:        s.mems.Contention(elapsed),
+		LocalMissFraction: s.mems.LocalFraction(),
+		AvgRemoteLatency:  s.mems.AvgRemoteLatency(),
+		Trace:             s.tracer,
+		Events:            s.eng.Fired(),
+	}
+	for _, c := range s.cpus {
+		res.Steps += c.steps
+	}
+	if s.pg != nil {
+		res.Actions = s.pg.Actions
+		res.FinalParams = s.pg.Params()
+		res.TriggerTrace = s.pg.TriggerTrace
+	}
+	for i, c := range s.cpus {
+		// Pad each CPU's ledger with trailing idle so ledgers span the run.
+		if tot := c.bd.Total(); tot < elapsed {
+			c.bd.Idle += elapsed - tot
+		}
+		res.PerCPU[i] = c.bd
+		res.Agg.Merge(&c.bd)
+	}
+	return res, nil
+}
+
+func (s *System) policyName() string {
+	switch {
+	case s.opt.Dynamic && s.opt.Params.EnableMigration && s.opt.Params.EnableReplication:
+		return "Mig/Rep"
+	case s.opt.Dynamic && s.opt.Params.EnableMigration:
+		return "Migr"
+	case s.opt.Dynamic:
+		return "Repl"
+	case s.opt.RoundRobin:
+		return "RR"
+	default:
+		return "FT"
+	}
+}
+
+// Run is the package-level convenience: build a system and run it.
+func Run(spec *workload.Spec, opt Options) (*Result, error) {
+	sys, err := NewSystem(spec, opt)
+	if err != nil {
+		return nil, err
+	}
+	return sys.Run()
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"ccnuma/internal/policy"
+	"ccnuma/internal/workload"
+)
+
+// TestInvariantSoak runs the dynamic policy across several seeds and
+// scheduler disciplines and checks the kernel's structural invariants after
+// each run: no VM run may leave a dangling pte, a broken replica chain, a
+// leaked or double-allocated frame, or an unaccounted ledger.
+func TestInvariantSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak in -short mode")
+	}
+	for seed := uint64(1); seed <= 4; seed++ {
+		for _, sk := range []workload.SchedKind{workload.SchedPinned, workload.SchedAffinity, workload.SchedPartition} {
+			spec := tinySpec(sk, 120000)
+			if sk != workload.SchedPinned {
+				for i := range spec.Procs {
+					spec.Procs[i].Pin = -1
+					spec.Procs[i].Job = i % 2
+				}
+			}
+			opt := Options{Seed: seed, Dynamic: true}
+			opt.Params = policy.Base().WithTrigger(64)
+			opt.Params.ResetInterval /= 5
+			opt.ReclaimColdReplicas = seed%2 == 0
+			sys, err := NewSystem(spec, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sys.Run()
+			if err != nil {
+				t.Fatalf("seed %d sched %d: %v", seed, sk, err)
+			}
+			if err := sys.vmm.CheckInvariants(); err != nil {
+				t.Fatalf("seed %d sched %d: %v", seed, sk, err)
+			}
+			if err := sys.allocs.CheckInvariant(); err != nil {
+				t.Fatalf("seed %d sched %d: %v", seed, sk, err)
+			}
+			// Ledger sanity: every CPU's breakdown spans the run.
+			for i := range res.PerCPU {
+				if got := res.PerCPU[i].Total(); got < res.Elapsed {
+					t.Fatalf("seed %d sched %d cpu %d ledger %v < elapsed %v",
+						seed, sk, i, got, res.Elapsed)
+				}
+			}
+			// The run must have completed its work, not hit the cap.
+			if res.Steps != 4*120000 {
+				t.Fatalf("seed %d sched %d: steps %d", seed, sk, res.Steps)
+			}
+		}
+	}
+}
+
+// TestStallAccountingMatchesMissCounts cross-checks two independent ledgers:
+// the per-CPU stall breakdown and the memory system's miss totals.
+func TestStallAccountingMatchesMissCounts(t *testing.T) {
+	sys, err := NewSystem(tinySpec(workload.SchedPinned, 100000), Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var local, remote uint64
+	for m := 0; m < 2; m++ {
+		for s := 0; s < 2; s++ {
+			local += res.Agg.Misses[m][s][1]  // stats.LocalMem
+			remote += res.Agg.Misses[m][s][2] // stats.RemoteMem
+		}
+	}
+	gotLocal, gotRemote, _, _ := sys.mems.Totals()
+	if local != gotLocal || remote != gotRemote {
+		t.Fatalf("breakdown misses %d/%d != memory system %d/%d",
+			local, remote, gotLocal, gotRemote)
+	}
+}

@@ -1,0 +1,331 @@
+package core
+
+import (
+	"fmt"
+
+	"ccnuma/internal/cache"
+	"ccnuma/internal/directory"
+	"ccnuma/internal/kernel/alloc"
+	"ccnuma/internal/kernel/klock"
+	"ccnuma/internal/kernel/pager"
+	"ccnuma/internal/kernel/sched"
+	"ccnuma/internal/kernel/vm"
+	"ccnuma/internal/mem"
+	"ccnuma/internal/sim"
+	"ccnuma/internal/stats"
+	"ccnuma/internal/tlb"
+	"ccnuma/internal/topology"
+	"ccnuma/internal/trace"
+	"ccnuma/internal/workload"
+)
+
+// idleTick is how often an idle CPU re-checks its run queue.
+const idleTick = 100 * sim.Microsecond
+
+// ctxSwitch is the kernel cost of a context switch.
+const ctxSwitch = 15 * sim.Microsecond
+
+// sliceMax bounds the virtual time one CPU advances per event, so resource
+// contention across CPUs interleaves at fine grain.
+const sliceMax = 20 * sim.Microsecond
+
+type procState struct {
+	vmID  mem.ProcID
+	sp    *sched.Proc
+	spec  *workload.ProcSpec
+	gen   workload.Generator
+	alive bool
+}
+
+type cpuState struct {
+	id      mem.CPUID
+	node    mem.NodeID
+	caches  *cache.Hierarchy
+	tlb     *tlb.TLB
+	cur     *procState
+	quantum sim.Time // current quantum's end
+
+	// pagerWork holds hot-page batches queued for this CPU's next step.
+	pagerWork [][]directory.HotRef
+	// flushCharge is pending TLB-shootdown interrupt time to charge.
+	flushCharge sim.Time
+
+	steps      uint64
+	idle       bool
+	extraDelay sim.Time
+	bd         stats.Breakdown
+}
+
+// System is one assembled machine + workload instance.
+type System struct {
+	spec *workload.Spec
+	opt  Options
+	cfg  topology.Config
+
+	eng      *sim.Engine
+	rng      *sim.Rand
+	val      *cache.Validity
+	allocs   *alloc.Allocator
+	vmm      *vm.VM
+	locks    *klock.Set
+	counters *directory.Counters
+	pg       *pager.Pager
+	mems     *directory.MemSystem
+	schedul  sched.Scheduler
+	cpus     []*cpuState
+	procs    []*procState // indexed by vm ProcID (slots reused)
+	tracer   *trace.Trace
+	deadline sim.Time // hard cap; runs normally end at workload completion
+	seedGen  *sim.Rand
+
+	live          int
+	pendingSpawns int
+	respawnsLeft  map[*workload.ProcSpec]int
+	completedAt   sim.Time
+	// codeReplicated tracks first-touch code replication (the 7.2.3
+	// ablation): set of (page,node) already copied.
+	codeReplDone map[uint64]bool
+}
+
+type specAdapter struct{ s *workload.Spec }
+
+func (a specAdapter) nodes() int           { return a.s.Nodes }
+func (a specAdapter) memoryPerNode() int64 { return a.s.MemoryPerNode }
+func (a specAdapter) trigger() uint16      { return a.s.Trigger }
+func (a specAdapter) duration() sim.Time   { return a.s.Duration }
+
+// NewSystem assembles a machine for the spec under the options.
+func NewSystem(spec *workload.Spec, opt Options) (*System, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	opt, err := opt.withDefaults(specAdapter{spec})
+	if err != nil {
+		return nil, err
+	}
+	cfg := opt.Config
+	if cfg.TotalFrames() < spec.Pages {
+		return nil, fmt.Errorf("core: %d pages exceed machine memory (%d frames)",
+			spec.Pages, cfg.TotalFrames())
+	}
+
+	s := &System{
+		spec:         spec,
+		opt:          opt,
+		cfg:          cfg,
+		eng:          &sim.Engine{},
+		rng:          sim.NewRand(opt.Seed ^ 0xabcdef),
+		seedGen:      sim.NewRand(opt.Seed*2654435761 + 1),
+		deadline:     4 * opt.Duration, // hard cap; completion usually ends the run
+		codeReplDone: map[uint64]bool{},
+		respawnsLeft: map[*workload.ProcSpec]int{},
+	}
+	s.val = cache.NewValidity(spec.Pages)
+	s.allocs = alloc.New(cfg.Nodes, cfg.FramesPerNode())
+	s.vmm = vm.New(spec.Pages, cfg.Nodes, s.allocs, s.val, opt.Placement)
+	s.vmm.Locate = func(pid mem.ProcID) mem.NodeID {
+		if int(pid) < len(s.procs) && s.procs[pid] != nil {
+			return cfg.NodeOf(s.procs[pid].sp.LastCPU)
+		}
+		return 0
+	}
+	s.locks = klock.NewSet(64)
+	s.mems = directory.NewMemSystem(cfg)
+
+	trigger := spec.Trigger
+	if opt.Dynamic {
+		trigger = opt.Params.Trigger
+	}
+	s.counters = directory.NewCounters(spec.Pages, cfg.TotalCPUs(), trigger,
+		cfg.PagesPerInterrupt, opt.Metric.SampleRate(), s.onHotBatch)
+
+	if opt.Dynamic {
+		s.pg = pager.New(cfg, s.locks, s.allocs, s.vmm, s.counters, opt.Params)
+		s.pg.Flush = s.shootdown
+		s.pg.Adaptive = opt.AdaptiveTrigger
+		s.pg.ReclaimCold = opt.ReclaimColdReplicas
+	}
+
+	switch spec.Sched {
+	case workload.SchedPinned:
+		s.schedul = sched.NewPinned(cfg.TotalCPUs())
+	case workload.SchedPartition:
+		s.schedul = sched.NewPartition(cfg.TotalCPUs())
+	default:
+		s.schedul = sched.NewAffinity(cfg.TotalCPUs())
+	}
+
+	s.cpus = make([]*cpuState, cfg.TotalCPUs())
+	for i := range s.cpus {
+		s.cpus[i] = &cpuState{
+			id:     mem.CPUID(i),
+			node:   cfg.NodeOf(mem.CPUID(i)),
+			caches: cache.NewHierarchy(i, cfg.L1Size, cfg.L1Assoc, cfg.L2Size, cfg.L2Assoc, s.val),
+			tlb:    tlb.New(cfg.TLBEntries, cfg.TLBAssoc),
+		}
+	}
+	if opt.CollectTrace {
+		s.tracer = &trace.Trace{}
+	}
+
+	s.wireKernelRegions()
+	return s, nil
+}
+
+func (s *System) wireKernelRegions() {
+	for _, r := range s.spec.Regions {
+		if r.Kind == workload.CodeRegion {
+			for i := 0; i < r.N; i++ {
+				s.vmm.SetFlags(r.Page(i), vm.Code)
+			}
+		}
+		if r.Kind != workload.KernelRegion {
+			continue
+		}
+		for i := 0; i < r.N; i++ {
+			node := mem.NodeID(0)
+			if r.WireStripe {
+				node = mem.NodeID(i * s.cfg.Nodes / r.N)
+			} else if r.WireNode >= 0 {
+				node = mem.NodeID(r.WireNode)
+			}
+			if int(node) >= s.cfg.Nodes {
+				node = mem.NodeID(s.cfg.Nodes - 1)
+			}
+			s.vmm.Wire(r.Page(i), node)
+		}
+	}
+}
+
+// onHotBatch queues a pager interrupt for the CPU that triggered the first
+// hot page of the batch.
+func (s *System) onHotBatch(batch []directory.HotRef) {
+	if s.pg == nil {
+		return
+	}
+	cp := make([]directory.HotRef, len(batch))
+	copy(cp, batch)
+	s.cpus[batch[0].CPU].pagerWork = append(s.cpus[batch[0].CPU].pagerWork, cp)
+}
+
+// shootdown implements the pager's TLB-flush hook.
+func (s *System) shootdown(now sim.Time, initiator mem.CPUID, pages []mem.GPage) sim.Time {
+	k := s.cfg.Kernel
+	flushed := 0
+	for _, c := range s.cpus {
+		if c.id == initiator {
+			c.tlb.FlushAll()
+			continue
+		}
+		if s.cfg.TrackTLBHolders {
+			holds := false
+			for _, p := range pages {
+				if c.tlb.HoldsPage(p) {
+					holds = true
+					break
+				}
+			}
+			if !holds {
+				continue
+			}
+		}
+		c.tlb.FlushAll()
+		c.flushCharge += k.TLBFlushLocal
+		flushed++
+	}
+	total := len(s.cpus) - 1
+	if total <= 0 || !s.cfg.TrackTLBHolders {
+		return k.TLBFlushWait
+	}
+	// Tracking holders shrinks the initiator's wait proportionally, with a
+	// floor for the IPI round trip itself.
+	w := k.TLBFlushWait * sim.Time(flushed+1) / sim.Time(total+1)
+	if min := k.TLBFlushWait / 8; w < min {
+		w = min
+	}
+	return w
+}
+
+// addProc creates a live process from its spec.
+func (s *System) addProc(ps *workload.ProcSpec) *procState {
+	id := s.vmm.AddProcess()
+	p := &procState{
+		vmID:  id,
+		spec:  ps,
+		gen:   ps.Gen,
+		alive: true,
+		sp: &sched.Proc{
+			ID:  id,
+			Pin: ps.Pin,
+			Job: ps.Job,
+		},
+	}
+	if ps.Pin >= 0 {
+		p.sp.LastCPU = ps.Pin
+	} else {
+		p.sp.LastCPU = mem.CPUID(s.rng.Intn(s.cfg.TotalCPUs()))
+	}
+	for int(id) >= len(s.procs) {
+		s.procs = append(s.procs, nil)
+	}
+	s.procs[id] = p
+	s.schedul.Add(p.sp)
+	s.live++
+	return p
+}
+
+// finished reports whether all workload processes have completed.
+func (s *System) finished() bool { return s.live == 0 && s.pendingSpawns == 0 }
+
+// exitProc tears a process down, releasing its private pages, and respawns
+// it when the spec asks for churn.
+func (s *System) exitProc(p *procState) {
+	p.alive = false
+	s.schedul.Exit(p.sp)
+	for _, r := range p.spec.Private {
+		for i := 0; i < r.N; i++ {
+			s.vmm.ReleasePage(r.Page(i))
+		}
+	}
+	s.vmm.RemoveProcess(p.vmID)
+	s.procs[p.vmID] = nil
+	s.live--
+	if p.spec.Respawn {
+		left, seen := s.respawnsLeft[p.spec]
+		if !seen {
+			left = p.spec.MaxRespawns
+		}
+		if left != 0 {
+			s.respawnsLeft[p.spec] = left - 1
+			p.spec.Gen.Reset(s.seedGen.Uint64())
+			s.addProc(p.spec)
+		}
+	}
+	if s.finished() && s.completedAt == 0 {
+		s.completedAt = s.eng.Now()
+	}
+}
+
+// preTouch performs the workload's initialisation touches (master threads
+// faulting in shared data before the run).
+func (s *System) preTouch() {
+	for _, pt := range s.spec.PreTouches {
+		ps := &s.spec.Procs[pt.Proc]
+		// The process may not exist yet if it starts late; pre-touches are
+		// defined for procs that start at time zero.
+		var p *procState
+		for _, cand := range s.procs {
+			if cand != nil && cand.spec == ps {
+				p = cand
+				break
+			}
+		}
+		if p == nil {
+			continue
+		}
+		node := s.cfg.NodeOf(p.sp.LastCPU)
+		for i := 0; i < pt.Region.N; i++ {
+			s.vmm.Touch(p.vmID, pt.Region.Page(i), node)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"ccnuma/internal/workload"
+)
+
+// TestAllPaperWorkloadsEndToEnd runs each of the five Table-2 workloads at a
+// reduced scale under the dynamic policy and verifies it completes, keeps
+// the kernel invariants, and shows the qualitative behaviour the paper
+// assigns to it.
+func TestAllPaperWorkloadsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end sweep in -short mode")
+	}
+	for _, name := range workload.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			build, err := workload.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec := build(0.25, 7)
+			sys, err := NewSystem(spec, Options{Seed: 7, Dynamic: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sys.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.vmm.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.allocs.CheckInvariant(); err != nil {
+				t.Fatal(err)
+			}
+			if res.Steps == 0 || res.Agg.NonIdle() == 0 {
+				t.Fatal("no work executed")
+			}
+			if res.Elapsed >= 4*spec.Duration {
+				t.Fatalf("hit the duration cap (%v)", res.Elapsed)
+			}
+
+			switch name {
+			case "raytrace":
+				if res.VM.Replics == 0 {
+					t.Error("raytrace should replicate its scene")
+				}
+			case "database":
+				_, _, none, _ := res.Actions.Percent()
+				if none < 50 {
+					t.Errorf("database no-action = %.0f%%, want dominant", none)
+				}
+			case "splash":
+				if res.Actions.NoPage == 0 {
+					t.Error("splash should hit memory pressure (No-Page)")
+				}
+			case "pmake":
+				// Kernel-dominated: kernel stall should exceed user stall.
+				k := res.Agg.StallTime(1, 0) + res.Agg.StallTime(1, 1)
+				u := res.Agg.StallTime(0, 0) + res.Agg.StallTime(0, 1)
+				if k <= u {
+					t.Errorf("pmake kernel stall %v not above user stall %v", k, u)
+				}
+			case "engineering":
+				if res.VM.Migrates == 0 && res.VM.Replics == 0 {
+					t.Error("engineering took no actions")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,173 @@
+package directory
+
+import (
+	"testing"
+
+	"ccnuma/internal/mem"
+	"ccnuma/internal/topology"
+)
+
+func TestCountersTriggerAndBatch(t *testing.T) {
+	var batches [][]HotRef
+	c := NewCounters(16, 4, 3, 2, 1, func(b []HotRef) {
+		cp := make([]HotRef, len(b))
+		copy(cp, b)
+		batches = append(batches, cp)
+	})
+	for i := 0; i < 3; i++ {
+		c.Record(5, 1, false, true)
+	}
+	if len(batches) != 0 {
+		t.Fatal("interrupt before batch filled")
+	}
+	for i := 0; i < 3; i++ {
+		c.Record(7, 2, false, true)
+	}
+	if len(batches) != 1 {
+		t.Fatalf("batches = %d, want 1", len(batches))
+	}
+	b := batches[0]
+	if len(b) != 2 || b[0] != (HotRef{5, 1}) || b[1] != (HotRef{7, 2}) {
+		t.Fatalf("batch = %v", b)
+	}
+}
+
+func TestCountersNoDuplicatePending(t *testing.T) {
+	var got []HotRef
+	c := NewCounters(16, 4, 2, 8, 1, func(b []HotRef) { got = append(got, b...) })
+	for i := 0; i < 10; i++ {
+		c.Record(3, 0, false, true) // stays hot; must queue only once
+	}
+	c.FlushPending()
+	if len(got) != 1 {
+		t.Fatalf("hot page queued %d times, want 1", len(got))
+	}
+}
+
+func TestCountersSampling(t *testing.T) {
+	c := NewCounters(4, 1, 200, 1, 10, nil)
+	for i := 0; i < 100; i++ {
+		c.Record(0, 0, false, true)
+	}
+	if got := c.Miss(0, 0); got != 10 {
+		t.Fatalf("sampled counter = %d, want 10", got)
+	}
+	st := c.Stats()
+	if st.Recorded != 100 || st.Counted != 10 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCountersResetZeroes(t *testing.T) {
+	c := NewCounters(4, 2, 100, 1, 1, nil)
+	c.Record(1, 0, true, true)
+	c.Record(1, 1, false, true)
+	c.Reset()
+	if c.Miss(1, 0) != 0 || c.Miss(1, 1) != 0 || c.Writes(1) != 0 {
+		t.Fatal("reset left non-zero counters")
+	}
+}
+
+func TestCountersSaturate(t *testing.T) {
+	c := NewCounters(2, 1, 65535, 64, 1, nil)
+	for i := 0; i < 70000; i++ {
+		c.Record(0, 0, true, true)
+	}
+	if c.Miss(0, 0) != 65535 || c.Writes(0) != 65535 {
+		t.Fatalf("counters overflowed: miss=%d write=%d", c.Miss(0, 0), c.Writes(0))
+	}
+}
+
+func TestCountersClearPage(t *testing.T) {
+	c := NewCounters(4, 2, 100, 1, 1, nil)
+	c.Record(2, 0, true, true)
+	c.Record(2, 1, false, true)
+	c.ClearPage(2)
+	if c.Miss(2, 0) != 0 || c.Miss(2, 1) != 0 || c.Writes(2) != 0 {
+		t.Fatal("ClearPage left residue")
+	}
+}
+
+func TestSpaceOverhead(t *testing.T) {
+	// Paper: 8 nodes, 1-byte counters, 4K pages => 0.2% overhead;
+	// 128 nodes => 3.1%; half-size counters at 128 nodes => 1.6%.
+	if got := SpaceOverhead(8, 1); got < 0.0019 || got > 0.0021 {
+		t.Fatalf("8-node overhead = %v, want ~0.002", got)
+	}
+	if got := SpaceOverhead(128, 1); got < 0.030 || got > 0.032 {
+		t.Fatalf("128-node overhead = %v, want ~0.031", got)
+	}
+	if got := SpaceOverhead(128, 0.5); got < 0.015 || got > 0.017 {
+		t.Fatalf("128-node half-counter overhead = %v, want ~0.016", got)
+	}
+}
+
+func TestMemSystemLocalVsRemote(t *testing.T) {
+	cfg := topology.CCNUMA()
+	cfg.DirOccupancy = 0
+	cfg.NetLinkTime = 0
+	m := NewMemSystem(cfg)
+	lat, remote := m.Access(0, 0, cfg.NodeOf(0), mem.DataRead)
+	if remote || lat != cfg.LocalLatency {
+		t.Fatalf("local access = (%v, %v)", lat, remote)
+	}
+	lat, remote = m.Access(0, 0, cfg.NodeOf(0)+1, mem.DataRead)
+	if !remote || lat != cfg.RemoteLatency {
+		t.Fatalf("remote access = (%v, %v)", lat, remote)
+	}
+	local, rem, _, _ := m.Totals()
+	if local != 1 || rem != 1 {
+		t.Fatalf("totals = %d local %d remote", local, rem)
+	}
+	if f := m.LocalFraction(); f != 0.5 {
+		t.Fatalf("local fraction = %v", f)
+	}
+}
+
+func TestMemSystemContentionInflatesLatency(t *testing.T) {
+	cfg := topology.CCNUMA()
+	m := NewMemSystem(cfg)
+	// Hammer one home node from all remote CPUs at the same instant: queueing
+	// at the home directory must push observed latency above the minimum.
+	var worst mem.NodeID = 3
+	for i := 0; i < 64; i++ {
+		cpu := mem.CPUID(i % cfg.TotalCPUs())
+		if cfg.NodeOf(cpu) == worst {
+			continue
+		}
+		m.Access(0, cpu, worst, mem.DataRead)
+	}
+	if avg := m.AvgRemoteLatency(); avg <= cfg.RemoteLatency {
+		t.Fatalf("avg remote latency %v not above minimum %v under contention", avg, cfg.RemoteLatency)
+	}
+	c := m.Contention(1000)
+	if c.RemoteHandlerInvocations == 0 {
+		t.Fatal("no remote handler invocations recorded")
+	}
+	if c.MaxDirOccupancy <= 0 {
+		t.Fatal("no directory occupancy recorded")
+	}
+}
+
+func TestMemSystemLocalReadLatencyTracked(t *testing.T) {
+	cfg := topology.CCNUMA()
+	m := NewMemSystem(cfg)
+	m.Access(0, 0, 0, mem.DataRead)
+	s := m.NodeSnapshot(0, 1000)
+	if s.LocalReadMisses != 1 || s.LocalReadLatencySum < cfg.LocalLatency {
+		t.Fatalf("local read stats = %+v", s)
+	}
+}
+
+func TestMemSystemZeroNet(t *testing.T) {
+	cfg := topology.ZeroNet()
+	cfg.DirOccupancy = 0
+	m := NewMemSystem(cfg)
+	lat, remote := m.Access(0, 0, 5, mem.DataRead)
+	if !remote {
+		t.Fatal("cross-node access not counted remote")
+	}
+	if lat != cfg.RemoteLatency {
+		t.Fatalf("zero-net remote latency = %v, want %v", lat, cfg.RemoteLatency)
+	}
+}

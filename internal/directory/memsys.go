@@ -1,0 +1,190 @@
+package directory
+
+import (
+	"ccnuma/internal/interconnect"
+	"ccnuma/internal/mem"
+	"ccnuma/internal/sim"
+	"ccnuma/internal/topology"
+)
+
+// NodeStats is the per-node contention picture used by the Section 7.1.2
+// system-wide-benefit experiment.
+type NodeStats struct {
+	Node                mem.NodeID
+	LocalMisses         uint64
+	RemoteHandlers      uint64 // remote memory requests serviced by this node
+	Dir                 interconnect.Stats
+	NetIn               interconnect.Stats
+	NetOut              interconnect.Stats
+	LocalReadLatencySum sim.Time
+	LocalReadMisses     uint64
+}
+
+type node struct {
+	dir    interconnect.Resource // controller occupancy
+	netIn  interconnect.Resource // inbound link
+	netOut interconnect.Resource // outbound link
+
+	localMisses    uint64
+	remoteHandlers uint64
+	localReadLat   sim.Time
+	localReads     uint64
+}
+
+// MemSystem routes L2 misses through the NUMA memory system: the local
+// directory for local misses; the outbound link, the home directory, and the
+// return link for remote misses. Latency = configured minimum + queueing.
+type MemSystem struct {
+	cfg   topology.Config
+	nodes []node
+
+	localTotal       uint64
+	remoteTotal      uint64
+	latencySum       sim.Time
+	remoteLatencySum sim.Time
+}
+
+// NewMemSystem builds the memory system for the machine configuration.
+func NewMemSystem(cfg topology.Config) *MemSystem {
+	m := &MemSystem{cfg: cfg, nodes: make([]node, cfg.Nodes)}
+	for i := range m.nodes {
+		m.nodes[i].dir.Service = cfg.DirOccupancy
+		m.nodes[i].netIn.Service = cfg.NetLinkTime
+		m.nodes[i].netOut.Service = cfg.NetLinkTime
+	}
+	return m
+}
+
+// Access services an L2 miss by cpu to a page whose mapped copy lives on
+// home. It returns the total miss latency including queueing, and whether
+// the miss was remote.
+func (m *MemSystem) Access(now sim.Time, cpu mem.CPUID, home mem.NodeID, kind mem.AccessKind) (lat sim.Time, remote bool) {
+	local := m.cfg.NodeOf(cpu)
+	if home == local {
+		n := &m.nodes[local]
+		n.localMisses++
+		m.localTotal++
+		wait := n.dir.Request(now) - m.cfg.DirOccupancy
+		if wait < 0 {
+			wait = 0
+		}
+		lat = m.cfg.LocalLatency + wait
+		if !kind.IsWrite() {
+			n.localReadLat += lat
+			n.localReads++
+		}
+		m.latencySum += lat
+		return lat, false
+	}
+	// Remote miss: the requester's own directory controller, its outbound
+	// link, the home directory, the home's outbound link for the reply, and
+	// the requester's inbound link — a remote miss consumes resources on
+	// multiple nodes (Section 7.1.2).
+	m.remoteTotal++
+	req := &m.nodes[local]
+	hn := &m.nodes[home]
+	hn.remoteHandlers++
+	var wait sim.Time
+	wait += waitOnly(req.dir.Request(now), m.cfg.DirOccupancy)
+	wait += waitOnly(req.netOut.Request(now+wait), m.cfg.NetLinkTime)
+	wait += waitOnly(hn.dir.Request(now+wait), m.cfg.DirOccupancy)
+	wait += waitOnly(hn.netOut.Request(now+wait), m.cfg.NetLinkTime)
+	wait += waitOnly(req.netIn.Request(now+wait), m.cfg.NetLinkTime)
+	lat = m.cfg.RemoteLatency + wait
+	m.latencySum += lat
+	m.remoteLatencySum += lat
+	return lat, true
+}
+
+func waitOnly(total, service sim.Time) sim.Time {
+	w := total - service
+	if w < 0 {
+		return 0
+	}
+	return w
+}
+
+// Totals returns machine-wide miss counts and latency sums.
+func (m *MemSystem) Totals() (local, remote uint64, latencySum, remoteLatencySum sim.Time) {
+	return m.localTotal, m.remoteTotal, m.latencySum, m.remoteLatencySum
+}
+
+// LocalFraction returns the fraction of misses satisfied from local memory.
+func (m *MemSystem) LocalFraction() float64 {
+	t := m.localTotal + m.remoteTotal
+	if t == 0 {
+		return 0
+	}
+	return float64(m.localTotal) / float64(t)
+}
+
+// AvgRemoteLatency returns the mean observed remote miss latency (Section
+// 7.1.3 compares this against the configured minimum).
+func (m *MemSystem) AvgRemoteLatency() sim.Time {
+	if m.remoteTotal == 0 {
+		return 0
+	}
+	return m.remoteLatencySum / sim.Time(m.remoteTotal)
+}
+
+// NodeSnapshot returns the contention statistics of one node.
+func (m *MemSystem) NodeSnapshot(id mem.NodeID, elapsed sim.Time) NodeStats {
+	n := &m.nodes[id]
+	return NodeStats{
+		Node:                id,
+		LocalMisses:         n.localMisses,
+		RemoteHandlers:      n.remoteHandlers,
+		Dir:                 n.dir.Snapshot(elapsed),
+		NetIn:               n.netIn.Snapshot(elapsed),
+		NetOut:              n.netOut.Snapshot(elapsed),
+		LocalReadLatencySum: n.localReadLat,
+		LocalReadMisses:     n.localReads,
+	}
+}
+
+// MachineContention aggregates the Section 7.1.2 statistics machine-wide.
+type MachineContention struct {
+	RemoteHandlerInvocations uint64
+	AvgNetQueue              float64  // mean queue length across links
+	AvgDirWait               sim.Time // mean queueing delay per directory request
+	MaxDirOccupancy          float64  // highest per-node directory occupancy
+	AvgLocalReadLatency      sim.Time
+}
+
+// Contention returns the aggregated contention statistics.
+func (m *MemSystem) Contention(elapsed sim.Time) MachineContention {
+	var out MachineContention
+	var qSum float64
+	var qN int
+	var readLat sim.Time
+	var reads uint64
+	var dirWait sim.Time
+	var dirReqs uint64
+	for i := range m.nodes {
+		s := m.NodeSnapshot(mem.NodeID(i), elapsed)
+		out.RemoteHandlerInvocations += s.RemoteHandlers
+		dirWait += s.Dir.WaitTime
+		dirReqs += s.Dir.Requests
+		for _, l := range []interconnect.Stats{s.NetIn, s.NetOut} {
+			if l.Requests > 0 {
+				qSum += l.AvgQueue
+				qN++
+			}
+		}
+		if s.Dir.Occupancy > out.MaxDirOccupancy {
+			out.MaxDirOccupancy = s.Dir.Occupancy
+		}
+		readLat += s.LocalReadLatencySum
+		reads += s.LocalReadMisses
+	}
+	if qN > 0 {
+		out.AvgNetQueue = qSum / float64(qN)
+	}
+	if reads > 0 {
+		out.AvgLocalReadLatency = readLat / sim.Time(reads)
+	}
+	if dirReqs > 0 {
+		out.AvgDirWait = dirWait / sim.Time(dirReqs)
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package interconnect
+
+import (
+	"testing"
+
+	"ccnuma/internal/sim"
+)
+
+func TestIdleResourceNoWait(t *testing.T) {
+	r := Resource{Service: 100}
+	if d := r.Request(0); d != 100 {
+		t.Fatalf("idle request delay = %v, want 100", d)
+	}
+	if d := r.Request(1000); d != 100 {
+		t.Fatalf("later idle request delay = %v, want 100", d)
+	}
+}
+
+func TestBackToBackRequestsQueue(t *testing.T) {
+	r := Resource{Service: 100}
+	if d := r.Request(0); d != 100 {
+		t.Fatalf("first delay = %v", d)
+	}
+	if d := r.Request(0); d != 200 {
+		t.Fatalf("second same-instant delay = %v, want 200 (100 wait + 100 service)", d)
+	}
+	if d := r.Request(50); d != 250 {
+		t.Fatalf("third delay = %v, want 250", d)
+	}
+}
+
+func TestZeroServicePassThrough(t *testing.T) {
+	var r Resource
+	for i := 0; i < 10; i++ {
+		if d := r.Request(sim.Time(i)); d != 0 {
+			t.Fatalf("zero-service resource delayed a request by %v", d)
+		}
+	}
+	s := r.Snapshot(100)
+	if s.Requests != 10 || s.BusyTime != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestSnapshotStats(t *testing.T) {
+	r := Resource{Service: 100}
+	r.Request(0)
+	r.Request(0)
+	r.Request(0) // queue lengths seen: 0, 1, 2
+	s := r.Snapshot(1000)
+	if s.Requests != 3 {
+		t.Fatalf("requests = %d", s.Requests)
+	}
+	if s.MaxQueue != 2 {
+		t.Fatalf("max queue = %d, want 2", s.MaxQueue)
+	}
+	if s.AvgQueue != 1 {
+		t.Fatalf("avg queue = %v, want 1", s.AvgQueue)
+	}
+	if s.BusyTime != 300 {
+		t.Fatalf("busy = %v, want 300", s.BusyTime)
+	}
+	if s.Occupancy != 0.3 {
+		t.Fatalf("occupancy = %v, want 0.3", s.Occupancy)
+	}
+	if s.WaitTime != 300 { // 0 + 100 + 200
+		t.Fatalf("wait = %v, want 300", s.WaitTime)
+	}
+}
+
+func TestResetKeepsHorizon(t *testing.T) {
+	r := Resource{Service: 100}
+	r.Request(0)
+	r.Reset()
+	if d := r.Request(0); d != 200 {
+		t.Fatalf("delay after reset = %v, want 200 (horizon must survive reset)", d)
+	}
+	if s := r.Snapshot(1000); s.Requests != 1 {
+		t.Fatalf("requests after reset = %d, want 1", s.Requests)
+	}
+}
+
+func TestDrainThenIdle(t *testing.T) {
+	r := Resource{Service: 10}
+	r.Request(0) // busy until 10
+	if d := r.Request(100); d != 10 {
+		t.Fatalf("request after drain delayed %v, want 10", d)
+	}
+}

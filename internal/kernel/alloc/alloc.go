@@ -1,0 +1,196 @@
+// Package alloc is the per-node physical page allocator. Each node owns a
+// free list of its local frames; the pager allocates strictly on the node
+// the policy chose (a failure is the "No Page" outcome of Table 4), while
+// ordinary page faults may fall back to other nodes so the workload itself
+// never deadlocks on a full node.
+//
+// The allocator also tracks the replication space overhead of Section 7.2.3:
+// frames are tagged by purpose, and peak replica usage is recorded.
+package alloc
+
+import (
+	"fmt"
+
+	"ccnuma/internal/mem"
+)
+
+// Purpose tags why a frame was allocated.
+type Purpose uint8
+
+const (
+	// Base frames hold a page's master copy.
+	Base Purpose = iota
+	// Replica frames hold additional copies created by the policy.
+	Replica
+)
+
+// Allocator manages the machine's physical frames.
+type Allocator struct {
+	nodes     int
+	perNode   int
+	free      [][]mem.PFN // per-node free stacks
+	purpose   []Purpose   // per frame, valid only while allocated
+	allocated []bool
+
+	baseInUse    int
+	replicaInUse int
+	peakBase     int
+	peakReplica  int
+	failures     uint64 // strict allocations that found the node empty
+}
+
+// New builds an allocator for nodes nodes of perNode frames each.
+func New(nodes, perNode int) *Allocator {
+	a := &Allocator{
+		nodes:     nodes,
+		perNode:   perNode,
+		free:      make([][]mem.PFN, nodes),
+		purpose:   make([]Purpose, nodes*perNode),
+		allocated: make([]bool, nodes*perNode),
+	}
+	for n := 0; n < nodes; n++ {
+		stack := make([]mem.PFN, 0, perNode)
+		// Push high frames first so low frames pop first (stable, readable).
+		for f := perNode - 1; f >= 0; f-- {
+			stack = append(stack, mem.PFN(n*perNode+f))
+		}
+		a.free[n] = stack
+	}
+	return a
+}
+
+// NodeOf returns the home node of frame f.
+func (a *Allocator) NodeOf(f mem.PFN) mem.NodeID {
+	return mem.NodeID(int(f) / a.perNode)
+}
+
+// FreeOn returns the number of free frames on a node.
+func (a *Allocator) FreeOn(n mem.NodeID) int { return len(a.free[n]) }
+
+// AllocOn allocates a frame strictly on node n. It returns mem.NoFrame when
+// the node's memory is exhausted (the pager records this as a No-Page
+// failure, matching the paper's behaviour of not falling back).
+func (a *Allocator) AllocOn(n mem.NodeID, p Purpose) mem.PFN {
+	stack := a.free[n]
+	if len(stack) == 0 {
+		a.failures++
+		return mem.NoFrame
+	}
+	f := stack[len(stack)-1]
+	a.free[n] = stack[:len(stack)-1]
+	a.take(f, p)
+	return f
+}
+
+// AllocAnywhere allocates on node pref if possible, otherwise on the node
+// with the most free memory. It returns mem.NoFrame only when the whole
+// machine is out of memory. Page faults use this path.
+func (a *Allocator) AllocAnywhere(pref mem.NodeID, p Purpose) mem.PFN {
+	if len(a.free[pref]) > 0 {
+		return a.AllocOn(pref, p)
+	}
+	best, bestFree := mem.NodeID(-1), 0
+	for n := 0; n < a.nodes; n++ {
+		if len(a.free[n]) > bestFree {
+			best, bestFree = mem.NodeID(n), len(a.free[n])
+		}
+	}
+	if best < 0 {
+		return mem.NoFrame
+	}
+	return a.AllocOn(best, p)
+}
+
+func (a *Allocator) take(f mem.PFN, p Purpose) {
+	if a.allocated[f] {
+		panic(fmt.Sprintf("alloc: frame %d double-allocated", f))
+	}
+	a.allocated[f] = true
+	a.purpose[f] = p
+	switch p {
+	case Replica:
+		a.replicaInUse++
+		if a.replicaInUse > a.peakReplica {
+			a.peakReplica = a.replicaInUse
+		}
+	default:
+		a.baseInUse++
+		if a.baseInUse > a.peakBase {
+			a.peakBase = a.baseInUse
+		}
+	}
+}
+
+// Free returns a frame to its node's free list.
+func (a *Allocator) Free(f mem.PFN) {
+	if !a.allocated[f] {
+		panic(fmt.Sprintf("alloc: frame %d double-freed", f))
+	}
+	a.allocated[f] = false
+	switch a.purpose[f] {
+	case Replica:
+		a.replicaInUse--
+	default:
+		a.baseInUse--
+	}
+	n := a.NodeOf(f)
+	a.free[n] = append(a.free[n], f)
+}
+
+// Allocated reports whether frame f is currently allocated.
+func (a *Allocator) Allocated(f mem.PFN) bool { return a.allocated[f] }
+
+// Pressure reports whether node n is under memory pressure: fewer than
+// lowWater frames free. The policy stops replicating onto pressured nodes.
+func (a *Allocator) Pressure(n mem.NodeID, lowWater int) bool {
+	return len(a.free[n]) < lowWater
+}
+
+// Stats describes allocator usage.
+type Stats struct {
+	BaseInUse    int
+	ReplicaInUse int
+	PeakBase     int
+	PeakReplica  int
+	Failures     uint64
+}
+
+// Snapshot returns usage statistics. ReplicaOverhead (Section 7.2.3) is
+// PeakReplica / PeakBase.
+func (a *Allocator) Snapshot() Stats {
+	return Stats{
+		BaseInUse:    a.baseInUse,
+		ReplicaInUse: a.replicaInUse,
+		PeakBase:     a.peakBase,
+		PeakReplica:  a.peakReplica,
+		Failures:     a.failures,
+	}
+}
+
+// ReplicaOverhead returns the peak replica memory as a fraction of the peak
+// base memory, the Section 7.2.3 space-overhead measure.
+func (s Stats) ReplicaOverhead() float64 {
+	if s.PeakBase == 0 {
+		return 0
+	}
+	return float64(s.PeakReplica) / float64(s.PeakBase)
+}
+
+// CheckInvariant verifies free+allocated == capacity on every node and
+// returns an error describing the first violation (nil when consistent).
+func (a *Allocator) CheckInvariant() error {
+	for n := 0; n < a.nodes; n++ {
+		inUse := 0
+		lo, hi := n*a.perNode, (n+1)*a.perNode
+		for f := lo; f < hi; f++ {
+			if a.allocated[f] {
+				inUse++
+			}
+		}
+		if inUse+len(a.free[n]) != a.perNode {
+			return fmt.Errorf("alloc: node %d holds %d allocated + %d free != %d frames",
+				n, inUse, len(a.free[n]), a.perNode)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package alloc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ccnuma/internal/mem"
+	"ccnuma/internal/sim"
+)
+
+func TestAllocOnStaysOnNode(t *testing.T) {
+	a := New(4, 8)
+	for n := mem.NodeID(0); n < 4; n++ {
+		f := a.AllocOn(n, Base)
+		if f == mem.NoFrame {
+			t.Fatalf("node %d empty at start", n)
+		}
+		if a.NodeOf(f) != n {
+			t.Fatalf("frame %d not on node %d", f, n)
+		}
+	}
+}
+
+func TestAllocOnFailsWhenNodeFull(t *testing.T) {
+	a := New(2, 4)
+	for i := 0; i < 4; i++ {
+		if a.AllocOn(0, Base) == mem.NoFrame {
+			t.Fatal("premature exhaustion")
+		}
+	}
+	if a.AllocOn(0, Base) != mem.NoFrame {
+		t.Fatal("over-allocated node 0")
+	}
+	if a.Snapshot().Failures != 1 {
+		t.Fatal("failure not counted")
+	}
+	if a.AllocOn(1, Base) == mem.NoFrame {
+		t.Fatal("node 1 should still have frames")
+	}
+}
+
+func TestAllocAnywhereFallsBack(t *testing.T) {
+	a := New(2, 2)
+	a.AllocOn(0, Base)
+	a.AllocOn(0, Base)
+	f := a.AllocAnywhere(0, Base)
+	if f == mem.NoFrame {
+		t.Fatal("fallback failed with free frames on node 1")
+	}
+	if a.NodeOf(f) != 1 {
+		t.Fatalf("fallback frame on node %d, want 1", a.NodeOf(f))
+	}
+	a.AllocAnywhere(1, Base)
+	if a.AllocAnywhere(0, Base) != mem.NoFrame {
+		t.Fatal("allocation succeeded on an empty machine")
+	}
+}
+
+func TestFreeAndReuse(t *testing.T) {
+	a := New(1, 1)
+	f := a.AllocOn(0, Base)
+	a.Free(f)
+	if g := a.AllocOn(0, Base); g != f {
+		t.Fatalf("reallocated %d, want %d", g, f)
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	a := New(1, 2)
+	f := a.AllocOn(0, Base)
+	a.Free(f)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free not caught")
+		}
+	}()
+	a.Free(f)
+}
+
+func TestReplicaAccounting(t *testing.T) {
+	a := New(1, 8)
+	a.AllocOn(0, Base)
+	r1 := a.AllocOn(0, Replica)
+	r2 := a.AllocOn(0, Replica)
+	s := a.Snapshot()
+	if s.BaseInUse != 1 || s.ReplicaInUse != 2 || s.PeakReplica != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	a.Free(r1)
+	a.Free(r2)
+	s = a.Snapshot()
+	if s.ReplicaInUse != 0 || s.PeakReplica != 2 {
+		t.Fatalf("post-free stats = %+v", s)
+	}
+	if got := s.ReplicaOverhead(); got != 2.0 {
+		t.Fatalf("replica overhead = %v, want 2.0", got)
+	}
+}
+
+func TestPressure(t *testing.T) {
+	a := New(1, 10)
+	if a.Pressure(0, 4) {
+		t.Fatal("fresh node under pressure")
+	}
+	for i := 0; i < 7; i++ {
+		a.AllocOn(0, Base)
+	}
+	if !a.Pressure(0, 4) {
+		t.Fatal("node with 3 free frames not under pressure at lowWater 4")
+	}
+}
+
+// Property: any interleaving of allocs and frees preserves
+// free+allocated == capacity and never hands out the same frame twice.
+func TestAllocatorInvariantProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := sim.NewRand(seed)
+		a := New(3, 16)
+		var live []mem.PFN
+		for i := 0; i < 400; i++ {
+			if r.Bool(0.55) {
+				p := Base
+				if r.Bool(0.3) {
+					p = Replica
+				}
+				f := a.AllocAnywhere(mem.NodeID(r.Intn(3)), p)
+				if f != mem.NoFrame {
+					for _, x := range live {
+						if x == f {
+							return false // double allocation
+						}
+					}
+					live = append(live, f)
+				}
+			} else if len(live) > 0 {
+				i := r.Intn(len(live))
+				a.Free(live[i])
+				live = append(live[:i], live[i+1:]...)
+			}
+			if a.CheckInvariant() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,73 @@
+package klock
+
+import "testing"
+
+func TestUncontendedAcquire(t *testing.T) {
+	l := New("x")
+	if w := l.Acquire(100, 10); w != 0 {
+		t.Fatalf("uncontended wait = %v", w)
+	}
+	s := l.Snapshot()
+	if s.Acquisitions != 1 || s.Contended != 0 || s.HoldTime != 10 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestContendedAcquireWaits(t *testing.T) {
+	l := New("x")
+	l.Acquire(0, 100) // held until 100
+	if w := l.Acquire(30, 50); w != 70 {
+		t.Fatalf("wait = %v, want 70", w)
+	}
+	// Third acquirer queues behind both: free at 150+50=... second holder
+	// runs 100..150, so third at t=60 waits 90.
+	if w := l.Acquire(60, 10); w != 90 {
+		t.Fatalf("wait = %v, want 90", w)
+	}
+	s := l.Snapshot()
+	if s.Contended != 2 || s.WaitTime != 160 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestHeldAt(t *testing.T) {
+	l := New("x")
+	l.Acquire(0, 100)
+	if !l.HeldAt(50) {
+		t.Fatal("lock not held mid-critical-section")
+	}
+	if l.HeldAt(100) {
+		t.Fatal("lock held at release instant")
+	}
+}
+
+func TestSetStripes(t *testing.T) {
+	s := NewSet(8)
+	if s.PageLock(3) != s.PageLock(11) {
+		t.Fatal("pages 3 and 11 should share a stripe with 8 stripes")
+	}
+	if s.PageLock(3) == s.PageLock(4) {
+		t.Fatal("adjacent pages should use different stripes")
+	}
+	if s.Memlock == nil {
+		t.Fatal("no memlock")
+	}
+}
+
+func TestPageLockStatsAggregate(t *testing.T) {
+	s := NewSet(4)
+	s.PageLock(0).Acquire(0, 10)
+	s.PageLock(1).Acquire(0, 10)
+	s.PageLock(1).Acquire(5, 10) // contended
+	agg := s.PageLockStats()
+	if agg.Acquisitions != 3 || agg.Contended != 1 || agg.HoldTime != 30 {
+		t.Fatalf("aggregate = %+v", agg)
+	}
+}
+
+func TestDefaultStripeCount(t *testing.T) {
+	s := NewSet(0)
+	if len(s.pageLocks) != 64 {
+		t.Fatalf("default stripes = %d, want 64", len(s.pageLocks))
+	}
+}

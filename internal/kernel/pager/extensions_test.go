@@ -1,0 +1,157 @@
+package pager
+
+import (
+	"testing"
+
+	"ccnuma/internal/directory"
+	"ccnuma/internal/kernel/alloc"
+	"ccnuma/internal/policy"
+	"ccnuma/internal/sim"
+)
+
+func TestAdaptiveTriggerRaisesUnderOverhead(t *testing.T) {
+	f := newFixture(t, policy.Base())
+	f.pg.Adaptive = true
+	// Some real pager activity, then force the interval's overhead over the
+	// adaptation ceiling.
+	f.touch(t, 3, 0)
+	f.heat(3, 5, 200, false)
+	f.pg.HandleBatch(0, 5, []directory.HotRef{{Page: 3, CPU: 5}}, &f.bd)
+	f.pg.intervalOverhead = 100 * sim.Millisecond // 12.5% of 8x100ms
+	before := f.pg.Params().Trigger
+	f.pg.ResetInterval()
+	after := f.pg.Params().Trigger
+	if after <= before {
+		t.Fatalf("trigger did not rise under heavy overhead: %d -> %d", before, after)
+	}
+	if f.counters.Trigger() != after {
+		t.Fatal("counters trigger out of sync")
+	}
+	if len(f.pg.TriggerTrace) != 1 || f.pg.TriggerTrace[0] != after {
+		t.Fatalf("trigger trace = %v", f.pg.TriggerTrace)
+	}
+}
+
+func TestAdaptiveTriggerLowersWhenIdle(t *testing.T) {
+	f := newFixture(t, policy.Base())
+	f.pg.Adaptive = true
+	before := f.pg.Params().Trigger
+	f.pg.ResetInterval() // no overhead at all this interval
+	if after := f.pg.Params().Trigger; after >= before {
+		t.Fatalf("trigger did not drop in an idle interval: %d -> %d", before, after)
+	}
+}
+
+func TestAdaptiveTriggerClamped(t *testing.T) {
+	f := newFixture(t, policy.Base().WithTrigger(20))
+	f.pg.Adaptive = true
+	for i := 0; i < 20; i++ {
+		f.pg.ResetInterval() // always lowering
+	}
+	if got := f.pg.Params().Trigger; got < 16 {
+		t.Fatalf("trigger below floor: %d", got)
+	}
+	f2 := newFixture(t, policy.Base().WithTrigger(400))
+	f2.pg.Adaptive = true
+	for i := 0; i < 20; i++ {
+		f2.pg.intervalOverhead = sim.Second // force "too expensive"
+		f2.pg.ResetInterval()
+	}
+	if got := f2.pg.Params().Trigger; got > 512 {
+		t.Fatalf("trigger above ceiling: %d", got)
+	}
+}
+
+func TestReclaimColdReplicas(t *testing.T) {
+	f := newFixture(t, policy.Base())
+	// Page 3: replicated and still warm (counters above sharing).
+	f.touch(t, 3, 0)
+	warm := f.alloc.AllocOn(2, alloc.Replica)
+	if err := f.vmm.Replicate(3, warm); err != nil {
+		t.Fatal(err)
+	}
+	f.heat(3, 2, 100, false)
+	// Page 9: replicated but cold this interval.
+	f.touch(t, 9, 0)
+	cold := f.alloc.AllocOn(4, alloc.Replica)
+	if err := f.vmm.Replicate(9, cold); err != nil {
+		t.Fatal(err)
+	}
+
+	dt := f.pg.ReclaimColdReplicas(0, 0, &f.bd)
+	if dt <= 0 {
+		t.Fatal("no reclamation time charged")
+	}
+	if len(f.vmm.Page(9).Replicas) != 0 {
+		t.Fatal("cold replica survived")
+	}
+	if len(f.vmm.Page(3).Replicas) != 1 {
+		t.Fatal("warm replica was reclaimed")
+	}
+	if f.flushes != 1 {
+		t.Fatalf("flushes = %d, want 1", f.flushes)
+	}
+	if err := f.vmm.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing cold left: the next scan is free.
+	if dt := f.pg.ReclaimColdReplicas(0, 0, &f.bd); dt != 0 {
+		t.Fatalf("second reclaim charged %v", dt)
+	}
+}
+
+func TestMigrateWriteSharedExtension(t *testing.T) {
+	params := policy.Base()
+	params.MigrateWriteShared = true
+	f := newFixture(t, params)
+	f.touch(t, 3, 0)
+	// CPU 5 writes hard (hottest); CPU 2 also above sharing threshold.
+	f.heat(3, 5, 200, true)
+	f.heat(3, 2, 100, true)
+	f.pg.HandleBatch(0, 5, []directory.HotRef{{Page: 3, CPU: 5}}, &f.bd)
+	if f.pg.Actions.Migrations != 1 {
+		t.Fatalf("write-shared page not migrated under the extension: %+v", f.pg.Actions)
+	}
+	if f.vmm.MasterNode(3) != f.cfg.NodeOf(5) {
+		t.Fatal("page not moved to the heaviest writer")
+	}
+	if f.pg.Actions.Replicas != 0 {
+		t.Fatal("write-shared page replicated")
+	}
+}
+
+func TestMigrateWriteSharedOnlyToHottest(t *testing.T) {
+	params := policy.Base()
+	params.MigrateWriteShared = true
+	f := newFixture(t, params)
+	f.touch(t, 3, 0)
+	// CPU 2 is the heaviest writer; the trigger fires on CPU 5. Moving to 5
+	// would chase the wrong processor, so the policy declines.
+	f.heat(3, 2, 250, true)
+	f.heat(3, 5, 150, true)
+	f.pg.HandleBatch(0, 5, []directory.HotRef{{Page: 3, CPU: 5}}, &f.bd)
+	if f.pg.Actions.Migrations != 0 {
+		t.Fatalf("page migrated toward a non-hottest CPU: %+v", f.pg.Actions)
+	}
+}
+
+func TestGroupedCountersSharedColumn(t *testing.T) {
+	c := directory.NewGroupedCounters(8, 8, 2, 100, 1, 1, nil)
+	if c.Groups() != 4 {
+		t.Fatalf("groups = %d", c.Groups())
+	}
+	c.Record(1, 0, false, true)
+	c.Record(1, 1, false, true) // same group as CPU 0
+	if c.Miss(1, 0) != 2 || c.Miss(1, 1) != 2 {
+		t.Fatalf("grouped counter = %d/%d, want shared 2", c.Miss(1, 0), c.Miss(1, 1))
+	}
+	if c.Miss(1, 2) != 0 {
+		t.Fatal("neighbouring group polluted")
+	}
+	if len(c.MissRow(1)) != 4 {
+		t.Fatalf("row length = %d", len(c.MissRow(1)))
+	}
+	if c.GroupOf(7) != 3 || c.GroupOf(0) != 0 {
+		t.Fatal("group mapping wrong")
+	}
+}

@@ -1,0 +1,106 @@
+// Package mem defines the address, page, and cache-line types shared by the
+// machine model and the kernel.
+//
+// The simulator identifies data by global logical pages rather than
+// per-process virtual addresses: every mapped region in the workload is
+// assigned a dense range of GPage identifiers, shared regions reusing the
+// same range across processes. A GPage is the unit of placement (migration,
+// replication) and of the directory's miss counters; a GLine is the unit of
+// caching and coherence. Physical placement is expressed as a PFN whose
+// home node is PFN / framesPerNode.
+package mem
+
+// Geometry constants match the machine evaluated in the paper: 4 KB pages
+// and 128-byte second-level cache lines.
+const (
+	PageShift = 12
+	PageSize  = 1 << PageShift // bytes per page
+
+	LineShift = 7
+	LineSize  = 1 << LineShift // bytes per cache line
+
+	LinesPerPage = PageSize / LineSize
+)
+
+// GPage is a global logical page identifier. GPage values are dense: the
+// workload builder assigns them sequentially as regions are created, so they
+// index directly into flat per-page tables (directory counters, page info).
+type GPage uint32
+
+// NoPage is the invalid GPage sentinel.
+const NoPage = GPage(^uint32(0))
+
+// GLine is a global logical cache-line identifier: GPage*LinesPerPage + index.
+type GLine uint64
+
+// Line returns the global line identifier for line index idx (0 ≤ idx <
+// LinesPerPage) within page p.
+func (p GPage) Line(idx int) GLine {
+	return GLine(uint64(p)*LinesPerPage + uint64(idx))
+}
+
+// Page returns the logical page containing the line.
+func (l GLine) Page() GPage {
+	return GPage(uint64(l) / LinesPerPage)
+}
+
+// Index returns the line's index within its page.
+func (l GLine) Index() int {
+	return int(uint64(l) % LinesPerPage)
+}
+
+// PFN is a physical frame number. Frames are grouped by node: frame f lives
+// on node f / framesPerNode for the machine's configured per-node memory.
+type PFN uint32
+
+// NoFrame is the invalid PFN sentinel.
+const NoFrame = PFN(^uint32(0))
+
+// NodeID identifies a memory node (one directory controller, one local
+// memory, and one or more CPUs).
+type NodeID int
+
+// CPUID identifies a processor.
+type CPUID int
+
+// RegionID identifies a mapped region (a contiguous GPage range) in the
+// workload's address-space description.
+type RegionID int
+
+// ProcID identifies a simulated process (used as the TLB address-space id).
+type ProcID int
+
+// NoProc is the invalid process sentinel.
+const NoProc = ProcID(-1)
+
+// AccessKind classifies a memory reference for the trace and the statistics.
+type AccessKind uint8
+
+const (
+	// DataRead is a user- or kernel-mode data load.
+	DataRead AccessKind = iota
+	// DataWrite is a user- or kernel-mode data store.
+	DataWrite
+	// InstrFetch is an instruction fetch.
+	InstrFetch
+)
+
+// IsWrite reports whether the access modifies memory.
+func (k AccessKind) IsWrite() bool { return k == DataWrite }
+
+// IsInstr reports whether the access is an instruction fetch.
+func (k AccessKind) IsInstr() bool { return k == InstrFetch }
+
+// String returns a short human-readable name.
+func (k AccessKind) String() string {
+	switch k {
+	case DataRead:
+		return "read"
+	case DataWrite:
+		return "write"
+	case InstrFetch:
+		return "ifetch"
+	default:
+		return "unknown"
+	}
+}

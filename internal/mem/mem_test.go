@@ -1,0 +1,54 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineRoundTrip(t *testing.T) {
+	f := func(p uint32, idx uint8) bool {
+		page := GPage(p % (1 << 24))
+		i := int(idx) % LinesPerPage
+		l := page.Line(i)
+		return l.Page() == page && l.Index() == i
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	if PageSize != 4096 {
+		t.Errorf("page size = %d, want 4096", PageSize)
+	}
+	if LineSize != 128 {
+		t.Errorf("line size = %d, want 128", LineSize)
+	}
+	if LinesPerPage != 32 {
+		t.Errorf("lines per page = %d, want 32", LinesPerPage)
+	}
+}
+
+func TestAccessKind(t *testing.T) {
+	if DataRead.IsWrite() || DataRead.IsInstr() {
+		t.Error("DataRead misclassified")
+	}
+	if !DataWrite.IsWrite() || DataWrite.IsInstr() {
+		t.Error("DataWrite misclassified")
+	}
+	if InstrFetch.IsWrite() || !InstrFetch.IsInstr() {
+		t.Error("InstrFetch misclassified")
+	}
+	names := map[AccessKind]string{DataRead: "read", DataWrite: "write", InstrFetch: "ifetch"}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%v.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestLinesOfAdjacentPagesDistinct(t *testing.T) {
+	if GPage(1).Line(LinesPerPage-1)+1 != GPage(2).Line(0) {
+		t.Error("line ids of adjacent pages are not contiguous")
+	}
+}

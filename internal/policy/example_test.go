@@ -1,0 +1,28 @@
+package policy_test
+
+import (
+	"fmt"
+
+	"ccnuma/internal/policy"
+)
+
+// A page hot on CPU 1 with heavy read sharing from CPU 3 and almost no
+// writes is a replication candidate; the same page with frequent writes is
+// left alone — the Figure-1 decision tree.
+func ExampleDecide() {
+	params := policy.Base() // trigger 128, sharing 32, write 1, migrate 1
+
+	counters := []uint16{0, 150, 0, 80, 0, 0, 0, 0} // misses per CPU
+
+	readMostly := policy.Decide(params, counters, 1 /* writes */, 1 /* hot cpu */, policy.PageState{})
+	writeShared := policy.Decide(params, counters, 40, 1, policy.PageState{})
+	private := policy.Decide(params, []uint16{0, 150, 0, 0, 0, 0, 0, 0}, 0, 1, policy.PageState{})
+
+	fmt.Println("read-mostly shared:", readMostly.Action)
+	fmt.Println("write-shared:      ", writeShared.Action, "("+writeShared.Reason.String()+")")
+	fmt.Println("private:           ", private.Action)
+	// Output:
+	// read-mostly shared: replicate
+	// write-shared:       nothing (write-shared)
+	// private:            migrate
+}

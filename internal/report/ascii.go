@@ -1,0 +1,60 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// bars renders a horizontal bar chart, one row per label, scaled so the
+// largest value fills width characters — the textual equivalent of the
+// paper's stacked-bar figures.
+func bars(b *strings.Builder, labels []string, values []float64, width int) {
+	if len(labels) != len(values) || len(labels) == 0 {
+		return
+	}
+	max := values[0]
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	if max <= 0 {
+		return
+	}
+	if width <= 0 {
+		width = 40
+	}
+	for i, l := range labels {
+		n := int(values[i] / max * float64(width))
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(b, "  %-8s |%-*s| %.2f\n", l, width, strings.Repeat("#", n), values[i])
+	}
+}
+
+// stackedBar renders one composition row (e.g. local/remote/overhead/other)
+// as proportional segments of a fixed-width bar.
+func stackedBar(b *strings.Builder, label string, segs []float64, glyphs []byte, width int) {
+	total := 0.0
+	for _, s := range segs {
+		total += s
+	}
+	if total <= 0 || len(segs) != len(glyphs) {
+		return
+	}
+	if width <= 0 {
+		width = 48
+	}
+	var bar []byte
+	for i, s := range segs {
+		n := int(s / total * float64(width))
+		for j := 0; j < n && len(bar) < width; j++ {
+			bar = append(bar, glyphs[i])
+		}
+	}
+	for len(bar) < width {
+		bar = append(bar, ' ')
+	}
+	fmt.Fprintf(b, "  %-12s |%s|\n", label, bar)
+}

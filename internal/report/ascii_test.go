@@ -1,0 +1,46 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarsScaleToWidest(t *testing.T) {
+	var b strings.Builder
+	bars(&b, []string{"a", "b"}, []float64{2, 1}, 10)
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[0], strings.Repeat("#", 10)) {
+		t.Fatalf("widest bar not full width: %q", lines[0])
+	}
+	if strings.Count(lines[1], "#") != 5 {
+		t.Fatalf("half bar wrong: %q", lines[1])
+	}
+}
+
+func TestBarsDegenerateInputs(t *testing.T) {
+	var b strings.Builder
+	bars(&b, []string{"a"}, []float64{0}, 10)    // all zero
+	bars(&b, []string{"a"}, []float64{1, 2}, 10) // mismatched
+	bars(&b, nil, nil, 10)                       // empty
+	if b.Len() != 0 {
+		t.Fatalf("degenerate inputs rendered: %q", b.String())
+	}
+}
+
+func TestStackedBarProportions(t *testing.T) {
+	var b strings.Builder
+	stackedBar(&b, "x", []float64{1, 1}, []byte{'A', 'B'}, 10)
+	out := b.String()
+	if strings.Count(out, "A") != 5 || strings.Count(out, "B") != 5 {
+		t.Fatalf("segments wrong: %q", out)
+	}
+	var e strings.Builder
+	stackedBar(&e, "x", []float64{0, 0}, []byte{'A', 'B'}, 10)
+	if e.Len() != 0 {
+		t.Fatal("zero-total bar rendered")
+	}
+}

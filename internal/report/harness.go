@@ -1,0 +1,221 @@
+// Package report regenerates every table and figure of the paper's
+// evaluation: each experiment runs the needed simulations (full-system or
+// trace-driven), renders the same rows or series the paper reports, and
+// places the paper's published numbers alongside the measured ones. The
+// reproduction target is shape — who wins, by roughly what factor, where
+// crossovers fall — not absolute values (see DESIGN.md).
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ccnuma/internal/core"
+	"ccnuma/internal/policy"
+	"ccnuma/internal/sim"
+	"ccnuma/internal/topology"
+	"ccnuma/internal/trace"
+	"ccnuma/internal/workload"
+)
+
+// Harness runs and memoizes simulations shared by several experiments
+// (e.g. one FT run per workload provides Figure 3's baseline, Table 3's
+// characterisation, and the Section-8 trace).
+type Harness struct {
+	// Scale is the workload scale factor (1.0 = default experiments; tests
+	// use smaller).
+	Scale float64
+	// Seed makes the whole suite reproducible.
+	Seed uint64
+
+	runs   map[string]*core.Result
+	traces map[string]*trace.Trace
+}
+
+// NewHarness builds a harness at the given scale.
+func NewHarness(scale float64, seed uint64) *Harness {
+	if scale <= 0 {
+		scale = 1.0
+	}
+	return &Harness{
+		Scale:  scale,
+		Seed:   seed,
+		runs:   map[string]*core.Result{},
+		traces: map[string]*trace.Trace{},
+	}
+}
+
+// Spec returns the (fresh) workload spec. Specs hold generator state, so a
+// new one is built per run.
+func (h *Harness) spec(name string) *workload.Spec {
+	build, err := workload.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return build(h.Scale, h.Seed)
+}
+
+// RunKey identifies a memoized run.
+func runKey(wl string, opt core.Options) string {
+	pol := "ft"
+	switch {
+	case opt.Dynamic && opt.Params.EnableMigration && opt.Params.EnableReplication:
+		pol = "migrep"
+	case opt.Dynamic && opt.Params.EnableMigration:
+		pol = "migr"
+	case opt.Dynamic:
+		pol = "repl"
+	case opt.RoundRobin:
+		pol = "rr"
+	}
+	return fmt.Sprintf("%s/%s/%s/t%d/m%d/trace%v/rcft%v/tlb%v/ws%v/ad%v/rc%v/dc%v",
+		wl, pol, opt.Config.Name, opt.Params.Trigger, opt.Metric,
+		opt.CollectTrace, opt.ReplicateCodeOnFirstTouch, opt.Config.TrackTLBHolders,
+		opt.Params.MigrateWriteShared, opt.AdaptiveTrigger, opt.ReclaimColdReplicas,
+		opt.Config.DirCopy) + fmt.Sprintf("/nr%v", opt.Params.DisableRemap)
+}
+
+// Run executes (or returns the memoized) full-system simulation.
+func (h *Harness) Run(wl string, opt core.Options) *core.Result {
+	key := runKey(wl, opt)
+	if r, ok := h.runs[key]; ok {
+		return r
+	}
+	opt.Seed = h.Seed
+	res, err := core.Run(h.spec(wl), opt)
+	if err != nil {
+		panic(fmt.Sprintf("report: %s: %v", key, err))
+	}
+	h.runs[key] = res
+	return res
+}
+
+// FT runs the first-touch baseline for a workload.
+func (h *Harness) FT(wl string) *core.Result {
+	return h.Run(wl, core.Options{})
+}
+
+// MigRep runs the base dynamic policy for a workload.
+func (h *Harness) MigRep(wl string) *core.Result {
+	return h.Run(wl, core.Options{Dynamic: true})
+}
+
+// Trace returns the workload's miss trace, generated once under first-touch
+// placement (the paper records traces from the unmodified system).
+func (h *Harness) Trace(wl string) *trace.Trace {
+	if t, ok := h.traces[wl]; ok {
+		return t
+	}
+	res := h.Run(wl, core.Options{CollectTrace: true})
+	h.traces[wl] = res.Trace
+	return res.Trace
+}
+
+// OtherTime estimates the placement-independent execution time of a
+// workload (compute, L2-hit stall, TLB refills, faults — not idle) from its
+// FT run; the trace simulator adds it to every policy's total, matching
+// Figure 6's "all other time" component.
+func (h *Harness) OtherTime(wl string) sim.Time {
+	res := h.Run(wl, core.Options{CollectTrace: true})
+	b := &res.Agg
+	l2, _, _ := b.MemStall()
+	return b.Compute[0] + b.Compute[1] + l2 + b.TLBRefill + b.FaultTime
+}
+
+// CodePages returns the workload's user-code footprint in pages.
+func (h *Harness) CodePages(wl string) int {
+	n := 0
+	for _, r := range h.spec(wl).Regions {
+		if r.Kind == workload.CodeRegion {
+			n += r.N
+		}
+	}
+	return n
+}
+
+// Nodes returns the node count a workload runs on (the database uses 4).
+func (h *Harness) Nodes(wl string) int {
+	if wl == "database" {
+		return 4
+	}
+	return topology.CCNUMA().Nodes
+}
+
+// BasePolicy returns the paper's base policy parameters for a workload
+// (trigger 96 for engineering, 128 otherwise; sharing = trigger/4).
+func (h *Harness) BasePolicy(wl string) policy.Params {
+	return policy.Base().WithTrigger(h.spec(wl).Trigger)
+}
+
+// Experiment is one regenerable table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(h *Harness) string
+}
+
+var registry []Experiment
+
+func register(id, title string, run func(h *Harness) string) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// Experiments returns the registered experiments in the paper's order.
+func Experiments() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.SliceStable(out, func(i, j int) bool { return order(out[i].ID) < order(out[j].ID) })
+	return out
+}
+
+func order(id string) int {
+	for i, x := range []string{"T3", "F3", "T4", "S7.1.2", "F5", "T5", "T6", "S7.2.1", "S7.2.3", "F4", "F6", "F7", "F8", "F9", "S8.4", "X1", "X2", "X3", "X4", "X5"} {
+		if x == id {
+			return i
+		}
+	}
+	return 99
+}
+
+// ByID returns one experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("report: unknown experiment %q", id)
+}
+
+// RunAll renders every experiment into one document.
+func RunAll(h *Harness) string {
+	var b strings.Builder
+	for _, e := range Experiments() {
+		fmt.Fprintf(&b, "## %s — %s\n\n%s\n", e.ID, e.Title, e.Run(h))
+	}
+	return b.String()
+}
+
+// pct formats a percentage.
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", x) }
+
+// improvement returns (base-new)/base as a percentage.
+func improvement(base, new sim.Time) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * float64(base-new) / float64(base)
+}
+
+// row renders one fixed-width table row.
+func row(b *strings.Builder, cells ...string) {
+	for i, c := range cells {
+		if i == 0 {
+			fmt.Fprintf(b, "%-14s", c)
+		} else {
+			fmt.Fprintf(b, " %12s", c)
+		}
+	}
+	b.WriteByte('\n')
+}

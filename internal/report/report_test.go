@@ -1,0 +1,129 @@
+package report
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The report tests run at a small scale: they verify that every experiment
+// renders, includes its paper reference numbers, and that the headline
+// relationships hold directionally.
+
+var (
+	sharedOnce sync.Once
+	sharedH    *Harness
+)
+
+// testHarness shares one harness across the package's tests; memoized runs
+// make the suite fast.
+func testHarness(t *testing.T) *Harness {
+	t.Helper()
+	sharedOnce.Do(func() { sharedH = NewHarness(0.25, 11) })
+	return sharedH
+}
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	want := []string{"T3", "F3", "T4", "S7.1.2", "F5", "T5", "T6", "S7.2.1", "S7.2.3", "F4", "F6", "F7", "F8", "F9", "S8.4", "X1", "X2", "X3", "X4", "X5"}
+	got := Experiments()
+	if len(got) != len(want) {
+		t.Fatalf("registered %d experiments, want %d", len(got), len(want))
+	}
+	for i, e := range got {
+		if e.ID != want[i] {
+			t.Errorf("position %d: %s, want %s", i, e.ID, want[i])
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("F3"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("F99"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestHarnessMemoizesRuns(t *testing.T) {
+	h := testHarness(t)
+	a := h.FT("database")
+	b := h.FT("database")
+	if a != b {
+		t.Fatal("FT run not memoized")
+	}
+	if h.Trace("database") != h.Trace("database") {
+		t.Fatal("trace not memoized")
+	}
+}
+
+func TestNodesPerWorkload(t *testing.T) {
+	h := testHarness(t)
+	if h.Nodes("database") != 4 || h.Nodes("raytrace") != 8 {
+		t.Fatal("node counts wrong")
+	}
+}
+
+func TestBasePolicyTriggers(t *testing.T) {
+	h := testHarness(t)
+	if h.BasePolicy("engineering").Trigger != 96 {
+		t.Fatal("engineering trigger should be 96")
+	}
+	if h.BasePolicy("raytrace").Trigger != 128 {
+		t.Fatal("raytrace trigger should be 128")
+	}
+}
+
+func TestFigure3RendersWithPaperNumbers(t *testing.T) {
+	h := testHarness(t)
+	e, _ := ByID("F3")
+	out := e.Run(h)
+	for _, frag := range []string{"engineering", "raytrace", "29.0%", "15.0%", "52.0%"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("F3 output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestFigure3DirectionalWins(t *testing.T) {
+	h := testHarness(t)
+	// The headline result must hold even at reduced scale: the dynamic
+	// policy improves locality on raytrace (the pre-touched scene).
+	ft, mr := h.FT("raytrace"), h.MigRep("raytrace")
+	if mr.LocalMissFraction <= ft.LocalMissFraction {
+		t.Fatalf("raytrace locality: FT %.2f vs M/R %.2f", ft.LocalMissFraction, mr.LocalMissFraction)
+	}
+}
+
+func TestTable4RobustnessOnDatabase(t *testing.T) {
+	h := testHarness(t)
+	mr := h.MigRep("database")
+	_, _, none, _ := mr.Actions.Percent()
+	if none < 50 {
+		t.Fatalf("database no-action = %.0f%%, want dominant (paper 85%%)", none)
+	}
+}
+
+func TestTraceSimExperimentsRender(t *testing.T) {
+	h := testHarness(t)
+	for _, id := range []string{"F6", "F8", "F9", "S8.4"} {
+		e, _ := ByID(id)
+		out := e.Run(h)
+		if !strings.Contains(out, "engineering") || len(out) < 100 {
+			t.Errorf("%s output suspicious:\n%s", id, out)
+		}
+	}
+}
+
+func TestRunAllProducesEverySection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report in -short mode")
+	}
+	h := testHarness(t)
+	doc := RunAll(h)
+	for _, e := range Experiments() {
+		if !strings.Contains(doc, "## "+e.ID+" — ") {
+			t.Errorf("report missing section %s", e.ID)
+		}
+	}
+}

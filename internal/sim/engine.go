@@ -1,0 +1,139 @@
+package sim
+
+// Event is a callback scheduled at a point in virtual time. The callback
+// receives the engine's current time, which equals the time the event was
+// scheduled for.
+type Event func(now Time)
+
+type item struct {
+	at  Time
+	seq uint64 // tie-break so equal-time events fire in schedule order
+	fn  Event
+}
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+type Engine struct {
+	now   Time
+	seq   uint64
+	heap  []item
+	fired uint64
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events dispatched so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of scheduled events not yet dispatched.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// At schedules fn to run at absolute time at. Scheduling in the past (before
+// Now) panics: it would violate the non-decreasing-time invariant.
+func (e *Engine) At(at Time, fn Event) {
+	if at < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	e.seq++
+	e.heap = append(e.heap, item{at: at, seq: e.seq, fn: fn})
+	e.up(len(e.heap) - 1)
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d Time, fn Event) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	e.At(e.now+d, fn)
+}
+
+// Every schedules fn at now+period, now+2*period, ... until stop returns
+// true (checked after each firing).
+func (e *Engine) Every(period Time, fn Event, stop func() bool) {
+	if period <= 0 {
+		panic("sim: non-positive period")
+	}
+	var tick Event
+	tick = func(now Time) {
+		fn(now)
+		if stop == nil || !stop() {
+			e.After(period, tick)
+		}
+	}
+	e.After(period, tick)
+}
+
+// Step dispatches the next event, advancing the clock to its time. It
+// returns false when no events remain.
+func (e *Engine) Step() bool {
+	if len(e.heap) == 0 {
+		return false
+	}
+	top := e.heap[0]
+	n := len(e.heap) - 1
+	e.heap[0] = e.heap[n]
+	e.heap = e.heap[:n]
+	if n > 0 {
+		e.down(0)
+	}
+	e.now = top.at
+	e.fired++
+	top.fn(e.now)
+	return true
+}
+
+// RunUntil dispatches events until the queue is empty or the next event is
+// after deadline. The clock ends at the time of the last dispatched event
+// (or at deadline, whichever is later, if any event remained pending).
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.heap) > 0 && e.heap[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline && len(e.heap) > 0 {
+		e.now = deadline
+	}
+}
+
+// Run dispatches events until none remain.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+func (e *Engine) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !e.less(i, p) {
+			break
+		}
+		e.heap[i], e.heap[p] = e.heap[p], e.heap[i]
+		i = p
+	}
+}
+
+func (e *Engine) down(i int) {
+	n := len(e.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && e.less(l, small) {
+			small = l
+		}
+		if r < n && e.less(r, small) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		e.heap[i], e.heap[small] = e.heap[small], e.heap[i]
+		i = small
+	}
+}
+
+func (e *Engine) less(i, j int) bool {
+	a, b := e.heap[i], e.heap[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}

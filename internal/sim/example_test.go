@@ -1,0 +1,30 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"ccnuma/internal/sim"
+)
+
+// The event engine dispatches callbacks in virtual-time order; equal times
+// fire in scheduling order. All of the machine's components — CPUs, the
+// pager, counter resets, process wakeups — are events on one engine.
+func ExampleEngine() {
+	var e sim.Engine
+	e.At(2*sim.Microsecond, func(now sim.Time) {
+		fmt.Println("miss completes at", now)
+	})
+	e.At(sim.Microsecond, func(now sim.Time) {
+		fmt.Println("pager interrupt at", now)
+		e.After(5*sim.Microsecond, func(now sim.Time) {
+			fmt.Println("pages moved by", now)
+		})
+	})
+	e.Run()
+	fmt.Println("clock stops at", e.Now())
+	// Output:
+	// pager interrupt at 1.00us
+	// miss completes at 2.00us
+	// pages moved by 6.00us
+	// clock stops at 6.00us
+}

@@ -1,0 +1,45 @@
+// Package sim provides the deterministic discrete-event core used by the
+// machine model: a virtual clock in nanoseconds, a binary-heap event queue,
+// and a seedable xorshift PRNG. The whole simulation runs on one goroutine;
+// determinism is a package invariant (same seed, same schedule, same result).
+package sim
+
+import "fmt"
+
+// Time is virtual time in nanoseconds since the start of the run.
+type Time int64
+
+// Common durations, in virtual nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Forever is a time later than any event the simulator schedules. It is used
+// as the deadline of runs that stop on workload completion.
+const Forever = Time(1) << 62
+
+// String formats the time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.2fus", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Micros returns the time as fractional microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Millis returns the time as fractional milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// Seconds returns the time as fractional seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }

@@ -1,0 +1,295 @@
+// Package stats accumulates the execution-time breakdowns the paper reports:
+// Table 3's CPU-time and stall characterisation, Figure 3/6's local/remote
+// stall split, and Tables 5-6's kernel-overhead accounting by pager function.
+package stats
+
+import (
+	"fmt"
+
+	"ccnuma/internal/sim"
+)
+
+// Mode distinguishes user from kernel execution.
+type Mode int
+
+const (
+	// User mode.
+	User Mode = iota
+	// Kernel mode.
+	Kernel
+	modeCount
+)
+
+// Side distinguishes instruction from data references.
+type Side int
+
+const (
+	// Instr references are instruction fetches.
+	Instr Side = iota
+	// Data references are loads and stores.
+	Data
+	sideCount
+)
+
+// Level is where a stalled reference was satisfied.
+type Level int
+
+const (
+	// L2 hits stall for the secondary-cache access time.
+	L2 Level = iota
+	// LocalMem is a miss to local memory.
+	LocalMem
+	// RemoteMem is a miss to remote memory.
+	RemoteMem
+	levelCount
+)
+
+// Breakdown is one CPU's (or an aggregate's) virtual-time ledger.
+type Breakdown struct {
+	Compute [modeCount]sim.Time
+	Stall   [modeCount][sideCount][levelCount]sim.Time
+	// Misses counts stalls by the same axes (for miss-ratio statistics).
+	Misses [modeCount][sideCount][levelCount]uint64
+	// TLBRefill is time in the software TLB-miss handler (kernel time).
+	TLBRefill sim.Time
+	// FaultTime is page-fault handling outside the pager (kernel time).
+	FaultTime sim.Time
+	// Pager is kernel overhead spent migrating/replicating, by function.
+	Pager PagerBreakdown
+	// Idle is time with no runnable process.
+	Idle sim.Time
+}
+
+// AddStall records a stall of duration d.
+func (b *Breakdown) AddStall(m Mode, s Side, l Level, d sim.Time) {
+	b.Stall[m][s][l] += d
+	b.Misses[m][s][l]++
+}
+
+// Merge adds o into b.
+func (b *Breakdown) Merge(o *Breakdown) {
+	for m := 0; m < int(modeCount); m++ {
+		b.Compute[m] += o.Compute[m]
+		for s := 0; s < int(sideCount); s++ {
+			for l := 0; l < int(levelCount); l++ {
+				b.Stall[m][s][l] += o.Stall[m][s][l]
+				b.Misses[m][s][l] += o.Misses[m][s][l]
+			}
+		}
+	}
+	b.TLBRefill += o.TLBRefill
+	b.FaultTime += o.FaultTime
+	b.Pager.Merge(&o.Pager)
+	b.Idle += o.Idle
+}
+
+// Total returns all accounted time (the CPU's busy + idle horizon).
+func (b *Breakdown) Total() sim.Time {
+	return b.NonIdle() + b.Idle
+}
+
+// NonIdle returns busy time: compute + all stalls + kernel handlers + pager.
+func (b *Breakdown) NonIdle() sim.Time {
+	t := b.TLBRefill + b.FaultTime + b.Pager.Total()
+	for m := 0; m < int(modeCount); m++ {
+		t += b.Compute[m]
+		for s := 0; s < int(sideCount); s++ {
+			for l := 0; l < int(levelCount); l++ {
+				t += b.Stall[m][s][l]
+			}
+		}
+	}
+	return t
+}
+
+// StallTime sums stall across the selected mode for one side, all levels.
+func (b *Breakdown) StallTime(m Mode, s Side) sim.Time {
+	var t sim.Time
+	for l := 0; l < int(levelCount); l++ {
+		t += b.Stall[m][s][l]
+	}
+	return t
+}
+
+// MemStall returns total memory stall (all modes/sides) split by locality;
+// L2-hit stall is reported separately.
+func (b *Breakdown) MemStall() (l2, local, remote sim.Time) {
+	for m := 0; m < int(modeCount); m++ {
+		for s := 0; s < int(sideCount); s++ {
+			l2 += b.Stall[m][s][L2]
+			local += b.Stall[m][s][LocalMem]
+			remote += b.Stall[m][s][RemoteMem]
+		}
+	}
+	return
+}
+
+// LocalMissFraction returns the fraction of memory misses (excluding L2
+// hits) satisfied locally.
+func (b *Breakdown) LocalMissFraction() float64 {
+	var local, remote uint64
+	for m := 0; m < int(modeCount); m++ {
+		for s := 0; s < int(sideCount); s++ {
+			local += b.Misses[m][s][LocalMem]
+			remote += b.Misses[m][s][RemoteMem]
+		}
+	}
+	if local+remote == 0 {
+		return 0
+	}
+	return float64(local) / float64(local+remote)
+}
+
+// PagerFunc indexes the kernel-overhead categories of Table 6.
+type PagerFunc int
+
+const (
+	// FnIntrProc: taking and dispatching the pager interrupt.
+	FnIntrProc PagerFunc = iota
+	// FnPolicyDecision: reading counters and running the decision tree.
+	FnPolicyDecision
+	// FnPageAlloc: allocating the destination frame (includes memlock wait).
+	FnPageAlloc
+	// FnLinksMapping: linking the new page and updating page tables.
+	FnLinksMapping
+	// FnTLBFlush: shooting down TLBs.
+	FnTLBFlush
+	// FnPageCopy: copying the 4 KB of data.
+	FnPageCopy
+	// FnPolicyEnd: final remapping and cleanup.
+	FnPolicyEnd
+	// FnPageFault: extra page faults caused by changed mappings.
+	FnPageFault
+	pagerFuncCount
+)
+
+// PagerFuncNames lists display names in Table-6 column order.
+var PagerFuncNames = [...]string{
+	FnIntrProc:       "Intr. Proc",
+	FnPolicyDecision: "Policy Decision",
+	FnPageAlloc:      "Page Alloc",
+	FnLinksMapping:   "Links & Mapping",
+	FnTLBFlush:       "TLB Flush",
+	FnPageCopy:       "Page Copying",
+	FnPolicyEnd:      "Policy End",
+	FnPageFault:      "Page Fault",
+}
+
+// String names the function.
+func (f PagerFunc) String() string {
+	if int(f) < len(PagerFuncNames) {
+		return PagerFuncNames[f]
+	}
+	return "unknown"
+}
+
+// NumPagerFuncs is the number of overhead categories.
+const NumPagerFuncs = int(pagerFuncCount)
+
+// PagerBreakdown is kernel overhead by function, plus per-operation latency
+// sums for Table 5.
+type PagerBreakdown struct {
+	Time [pagerFuncCount]sim.Time
+
+	// Per-operation latency accounting (Table 5): sums and counts of the
+	// end-to-end latency and per-step latencies, split by operation type.
+	OpLatency [2]OpLatency // indexed by OpKind
+}
+
+// OpKind distinguishes replication from migration for Table 5.
+type OpKind int
+
+const (
+	// OpReplicate rows of Table 5.
+	OpReplicate OpKind = iota
+	// OpMigrate rows of Table 5.
+	OpMigrate
+)
+
+// String names the operation.
+func (k OpKind) String() string {
+	if k == OpReplicate {
+		return "Repl."
+	}
+	return "Migr."
+}
+
+// OpLatency accumulates per-step latencies over operations of one kind.
+type OpLatency struct {
+	Count uint64
+	Step  [pagerFuncCount]sim.Time // summed per-step latency
+	Total sim.Time                 // summed end-to-end latency
+}
+
+// MeanStep returns the mean latency of one step in microseconds.
+func (o OpLatency) MeanStep(f PagerFunc) float64 {
+	if o.Count == 0 {
+		return 0
+	}
+	return (o.Step[f] / sim.Time(o.Count)).Micros()
+}
+
+// MeanTotal returns the mean end-to-end latency in microseconds.
+func (o OpLatency) MeanTotal() float64 {
+	if o.Count == 0 {
+		return 0
+	}
+	return (o.Total / sim.Time(o.Count)).Micros()
+}
+
+// Add records time d against function f.
+func (p *PagerBreakdown) Add(f PagerFunc, d sim.Time) {
+	p.Time[f] += d
+}
+
+// AddOpStep records step latency for one operation of kind k.
+func (p *PagerBreakdown) AddOpStep(k OpKind, f PagerFunc, d sim.Time) {
+	p.OpLatency[k].Step[f] += d
+}
+
+// FinishOp records one completed operation with end-to-end latency total.
+func (p *PagerBreakdown) FinishOp(k OpKind, total sim.Time) {
+	p.OpLatency[k].Count++
+	p.OpLatency[k].Total += total
+}
+
+// Total returns all pager overhead.
+func (p *PagerBreakdown) Total() sim.Time {
+	var t sim.Time
+	for _, d := range p.Time {
+		t += d
+	}
+	return t
+}
+
+// Percent returns function f's share of total pager overhead (0-100).
+func (p *PagerBreakdown) Percent(f PagerFunc) float64 {
+	tot := p.Total()
+	if tot == 0 {
+		return 0
+	}
+	return 100 * float64(p.Time[f]) / float64(tot)
+}
+
+// Merge adds o into p.
+func (p *PagerBreakdown) Merge(o *PagerBreakdown) {
+	for i := range p.Time {
+		p.Time[i] += o.Time[i]
+	}
+	for k := range p.OpLatency {
+		p.OpLatency[k].Count += o.OpLatency[k].Count
+		p.OpLatency[k].Total += o.OpLatency[k].Total
+		for i := range p.OpLatency[k].Step {
+			p.OpLatency[k].Step[i] += o.OpLatency[k].Step[i]
+		}
+	}
+}
+
+// Summary renders the headline numbers of a breakdown.
+func (b *Breakdown) Summary() string {
+	l2, local, remote := b.MemStall()
+	return fmt.Sprintf(
+		"total=%v nonidle=%v idle=%v user=%v kernel=%v l2stall=%v localstall=%v remotestall=%v pager=%v local%%=%.1f",
+		b.Total(), b.NonIdle(), b.Idle, b.Compute[User], b.Compute[Kernel],
+		l2, local, remote, b.Pager.Total(), 100*b.LocalMissFraction())
+}

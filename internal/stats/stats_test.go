@@ -1,0 +1,150 @@
+package stats
+
+import (
+	"testing"
+
+	"ccnuma/internal/sim"
+)
+
+func TestBreakdownTotals(t *testing.T) {
+	var b Breakdown
+	b.Compute[User] = 100
+	b.Compute[Kernel] = 50
+	b.AddStall(User, Data, RemoteMem, 1200)
+	b.AddStall(User, Instr, L2, 50)
+	b.AddStall(Kernel, Data, LocalMem, 300)
+	b.TLBRefill = 25
+	b.FaultTime = 10
+	b.Idle = 500
+	b.Pager.Add(FnPageCopy, 100)
+
+	wantNonIdle := sim.Time(100 + 50 + 1200 + 50 + 300 + 25 + 10 + 100)
+	if got := b.NonIdle(); got != wantNonIdle {
+		t.Fatalf("NonIdle = %v, want %v", got, wantNonIdle)
+	}
+	if got := b.Total(); got != wantNonIdle+500 {
+		t.Fatalf("Total = %v, want %v", got, wantNonIdle+500)
+	}
+}
+
+func TestMemStallSplit(t *testing.T) {
+	var b Breakdown
+	b.AddStall(User, Data, L2, 50)
+	b.AddStall(User, Data, LocalMem, 300)
+	b.AddStall(Kernel, Instr, RemoteMem, 1200)
+	l2, local, remote := b.MemStall()
+	if l2 != 50 || local != 300 || remote != 1200 {
+		t.Fatalf("MemStall = %v/%v/%v", l2, local, remote)
+	}
+}
+
+func TestStallTimeByModeSide(t *testing.T) {
+	var b Breakdown
+	b.AddStall(User, Instr, RemoteMem, 1000)
+	b.AddStall(User, Instr, LocalMem, 300)
+	b.AddStall(User, Data, RemoteMem, 700)
+	if got := b.StallTime(User, Instr); got != 1300 {
+		t.Fatalf("user instr stall = %v", got)
+	}
+	if got := b.StallTime(Kernel, Instr); got != 0 {
+		t.Fatalf("kernel instr stall = %v", got)
+	}
+}
+
+func TestLocalMissFraction(t *testing.T) {
+	var b Breakdown
+	if b.LocalMissFraction() != 0 {
+		t.Fatal("empty breakdown should report 0")
+	}
+	b.AddStall(User, Data, LocalMem, 300)
+	b.AddStall(User, Data, LocalMem, 300)
+	b.AddStall(User, Data, RemoteMem, 1200)
+	b.AddStall(User, Data, L2, 50) // must not count as a memory miss
+	if got := b.LocalMissFraction(); got < 0.66 || got > 0.67 {
+		t.Fatalf("local fraction = %v, want 2/3", got)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Breakdown
+	a.Compute[User] = 10
+	a.AddStall(User, Data, RemoteMem, 100)
+	a.Pager.Add(FnTLBFlush, 5)
+	a.Idle = 7
+	b.Compute[User] = 20
+	b.AddStall(User, Data, RemoteMem, 200)
+	b.Pager.Add(FnTLBFlush, 15)
+	b.Idle = 3
+	a.Merge(&b)
+	if a.Compute[User] != 30 || a.Stall[User][Data][RemoteMem] != 300 ||
+		a.Pager.Time[FnTLBFlush] != 20 || a.Idle != 10 {
+		t.Fatalf("merge wrong: %+v", a)
+	}
+	if a.Misses[User][Data][RemoteMem] != 2 {
+		t.Fatalf("miss counts not merged")
+	}
+}
+
+func TestPagerPercentSumsTo100(t *testing.T) {
+	var p PagerBreakdown
+	p.Add(FnTLBFlush, 30)
+	p.Add(FnPageAlloc, 50)
+	p.Add(FnPageCopy, 20)
+	sum := 0.0
+	for f := 0; f < NumPagerFuncs; f++ {
+		sum += p.Percent(PagerFunc(f))
+	}
+	if sum < 99.99 || sum > 100.01 {
+		t.Fatalf("percent sum = %v", sum)
+	}
+	if p.Percent(FnPageAlloc) != 50 {
+		t.Fatalf("alloc percent = %v", p.Percent(FnPageAlloc))
+	}
+}
+
+func TestPagerEmptyPercent(t *testing.T) {
+	var p PagerBreakdown
+	if p.Percent(FnTLBFlush) != 0 {
+		t.Fatal("empty breakdown should report 0%")
+	}
+}
+
+func TestOpLatencyMeans(t *testing.T) {
+	var p PagerBreakdown
+	p.AddOpStep(OpReplicate, FnPageCopy, 100*sim.Microsecond)
+	p.AddOpStep(OpReplicate, FnPageCopy, 200*sim.Microsecond)
+	p.FinishOp(OpReplicate, 400*sim.Microsecond)
+	p.FinishOp(OpReplicate, 600*sim.Microsecond)
+	ol := p.OpLatency[OpReplicate]
+	if got := ol.MeanStep(FnPageCopy); got != 150 {
+		t.Fatalf("mean copy step = %v us", got)
+	}
+	if got := ol.MeanTotal(); got != 500 {
+		t.Fatalf("mean total = %v us", got)
+	}
+	var empty OpLatency
+	if empty.MeanStep(FnPageCopy) != 0 || empty.MeanTotal() != 0 {
+		t.Fatal("empty op latency should report 0")
+	}
+}
+
+func TestPagerFuncNames(t *testing.T) {
+	for f := 0; f < NumPagerFuncs; f++ {
+		if PagerFunc(f).String() == "unknown" || PagerFunc(f).String() == "" {
+			t.Fatalf("pager func %d unnamed", f)
+		}
+	}
+	if OpReplicate.String() != "Repl." || OpMigrate.String() != "Migr." {
+		t.Fatal("op kind names wrong")
+	}
+}
+
+func TestSummaryRenders(t *testing.T) {
+	var b Breakdown
+	b.Compute[User] = sim.Millisecond
+	b.AddStall(User, Data, RemoteMem, sim.Millisecond)
+	s := b.Summary()
+	if len(s) == 0 {
+		t.Fatal("empty summary")
+	}
+}

@@ -1,0 +1,133 @@
+package topology
+
+import (
+	"testing"
+
+	"ccnuma/internal/mem"
+	"ccnuma/internal/sim"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for _, cfg := range []Config{CCNUMA(), CCNOW(), ZeroNet()} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+	}
+}
+
+func TestCCNUMAMatchesPaperSection5(t *testing.T) {
+	c := CCNUMA()
+	if c.TotalCPUs() != 8 {
+		t.Errorf("CPUs = %d, want 8", c.TotalCPUs())
+	}
+	if c.L1Size != 32<<10 || c.L1Assoc != 2 {
+		t.Errorf("L1 = %d bytes %d-way, want 32KB 2-way", c.L1Size, c.L1Assoc)
+	}
+	if c.L2Size != 512<<10 || c.L2Assoc != 2 {
+		t.Errorf("L2 = %d bytes %d-way, want 512KB 2-way", c.L2Size, c.L2Assoc)
+	}
+	if c.L2Hit != 50 {
+		t.Errorf("L2 hit = %v, want 50ns", c.L2Hit)
+	}
+	if c.TLBEntries != 64 {
+		t.Errorf("TLB = %d entries, want 64", c.TLBEntries)
+	}
+	if c.LocalLatency != 300 || c.RemoteLatency != 1200 {
+		t.Errorf("latencies = %v/%v, want 300/1200", c.LocalLatency, c.RemoteLatency)
+	}
+}
+
+func TestCCNOWRemoteLatency(t *testing.T) {
+	c := CCNOW()
+	if c.RemoteLatency != 3000 {
+		t.Errorf("CC-NOW remote latency = %v, want 3000ns", c.RemoteLatency)
+	}
+	if c.LocalLatency != 300 {
+		t.Errorf("CC-NOW local latency = %v, want 300ns", c.LocalLatency)
+	}
+}
+
+func TestZeroNetRemovesNetworkDelay(t *testing.T) {
+	c := ZeroNet()
+	if c.NetLinkTime != 0 {
+		t.Errorf("zero-net config still has link time: %v", c.NetLinkTime)
+	}
+	// Remote misses still pay the two directory-controller traversals, so
+	// locality keeps mattering (Section 7.1.2).
+	if c.RemoteLatency != c.LocalLatency+2*c.DirOccupancy {
+		t.Errorf("zero-net remote latency = %v", c.RemoteLatency)
+	}
+}
+
+func TestNodeMapping(t *testing.T) {
+	c := CCNUMA()
+	c.CPUsPerNode = 2
+	c.Nodes = 4
+	for cpu := 0; cpu < c.TotalCPUs(); cpu++ {
+		want := mem.NodeID(cpu / 2)
+		if got := c.NodeOf(mem.CPUID(cpu)); got != want {
+			t.Errorf("NodeOf(%d) = %v, want %v", cpu, got, want)
+		}
+	}
+	fpn := c.FramesPerNode()
+	if got := c.NodeOfFrame(mem.PFN(fpn)); got != 1 {
+		t.Errorf("NodeOfFrame(framesPerNode) = %v, want 1", got)
+	}
+	if got := c.NodeOfFrame(0); got != 0 {
+		t.Errorf("NodeOfFrame(0) = %v, want 0", got)
+	}
+}
+
+func TestCopyCostAblation(t *testing.T) {
+	c := CCNUMA()
+	if c.CopyCost() != c.Kernel.PageCopyCPU {
+		t.Error("default copy cost should be the processor bcopy")
+	}
+	c.DirCopy = true
+	if c.CopyCost() != c.Kernel.PageCopyDir {
+		t.Error("DirCopy should select the pipelined directory copy")
+	}
+	if c.Kernel.PageCopyDir >= c.Kernel.PageCopyCPU {
+		t.Error("directory copy must be cheaper than bcopy (35us vs ~100us)")
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Nodes = 0 },
+		func(c *Config) { c.CPUsPerNode = 0 },
+		func(c *Config) { c.MemoryPerNode = 100 },
+		func(c *Config) { c.L1Assoc = 0 },
+		func(c *Config) { c.L1Size = mem.LineSize * 3 },
+		func(c *Config) { c.TLBEntries = 63 },
+		func(c *Config) { c.CycleTime = 0 },
+		func(c *Config) { c.RemoteLatency = c.LocalLatency - 1 },
+		func(c *Config) { c.PagesPerInterrupt = 0 },
+	}
+	for i, mutate := range bad {
+		c := CCNUMA()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config passed validation", i)
+		}
+	}
+}
+
+func TestTable5CalibrationTotals(t *testing.T) {
+	// Table 5 reports 395-516us end-to-end per operation. The sum of the
+	// uncontended step costs must land in that band.
+	k := DefaultKernelCosts()
+	repl := k.InterruptEntry/4 + k.PolicyDecision + k.PageAllocBase +
+		k.LinkMapRepl + k.TLBFlushWait + k.PageCopyCPU + k.PolicyEndRepl
+	migr := k.InterruptEntry/4 + k.PolicyDecision + k.PageAllocBase +
+		k.LinkMapMigr + k.TLBFlushWait + k.PageCopyCPU + k.PolicyEndMigr
+	if repl < 300*sim.Microsecond || repl > 600*sim.Microsecond {
+		t.Errorf("uncontended replication cost %v outside Table 5 band", repl)
+	}
+	if migr < 300*sim.Microsecond || migr > 600*sim.Microsecond {
+		t.Errorf("uncontended migration cost %v outside Table 5 band", migr)
+	}
+	if migr <= repl {
+		t.Error("migration should cost more than replication (Table 5)")
+	}
+}

@@ -1,0 +1,37 @@
+package trace_test
+
+import (
+	"fmt"
+
+	"ccnuma/internal/mem"
+	"ccnuma/internal/sim"
+	"ccnuma/internal/trace"
+)
+
+// Read chains (Figure 4): a string of read misses to a page from one
+// processor, terminated by any processor's write to that page. Here CPU 0
+// reads page 1 six times before CPU 1 writes it, then reads twice more.
+func ExampleReadChains() {
+	tr := &trace.Trace{}
+	at := sim.Time(0)
+	add := func(cpu int, kind mem.AccessKind) {
+		tr.Append(trace.Record{At: at, CPU: mem.CPUID(cpu), Page: 1, Kind: kind})
+		at += 100
+	}
+	for i := 0; i < 6; i++ {
+		add(0, mem.DataRead)
+	}
+	add(1, mem.DataWrite)
+	add(0, mem.DataRead)
+	add(0, mem.DataRead)
+
+	c := trace.ReadChains(tr, []int{1, 4, 8})
+	for i, th := range c.Thresholds {
+		fmt.Printf("chains >= %d cover %.0f%% of data read misses\n",
+			th, 100*c.FractionAtLeast[i])
+	}
+	// Output:
+	// chains >= 1 cover 100% of data read misses
+	// chains >= 4 cover 75% of data read misses
+	// chains >= 8 cover 0% of data read misses
+}

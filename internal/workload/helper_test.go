@@ -1,0 +1,5 @@
+package workload
+
+import "ccnuma/internal/sim"
+
+func newTestRand() *sim.Rand { return sim.NewRand(12345) }

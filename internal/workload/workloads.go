@@ -1,0 +1,382 @@
+package workload
+
+import (
+	"fmt"
+
+	"ccnuma/internal/mem"
+	"ccnuma/internal/sim"
+)
+
+// kernelLayout groups the kernel regions every workload shares: kernel text
+// (wired to node 0, the boot node), per-CPU structures (PDAs, local PFDs,
+// run queues — wired block-wise so each CPU's slice is local), and globally
+// shared kernel data (vnode and buffer caches, scheduler state — striped).
+type kernelLayout struct {
+	code   Region
+	percpu Region
+	shared Region
+}
+
+func buildKernel(l *Layout, cpus int, scale float64) kernelLayout {
+	k := kernelLayout{}
+	k.code = l.NewRegion("kernel.text", scaled(64, scale), KernelRegion, true)
+	k.code.WireNode = 0
+	l.Regions[k.code.ID] = k.code
+	k.percpu = l.NewRegion("kernel.percpu", 2*cpus, KernelRegion, true)
+	k.percpu.WireStripe = true
+	l.Regions[k.percpu.ID] = k.percpu
+	k.shared = l.NewRegion("kernel.shared", scaled(32, scale), KernelRegion, true)
+	k.shared.WireStripe = true
+	l.Regions[k.shared.ID] = k.shared
+	return k
+}
+
+// kernelSide builds one process's kernel-mode sources over the shared
+// kernel regions. kstack, if non-nil, is the process's private kernel stack.
+func kernelSide(k kernelLayout, cpus int, kstack *Region) (*CodeWalk, []Source, []float64) {
+	code := &CodeWalk{Reg: k.code, HotFrac: 0.98, HotLines: 64, LoopLines: 512, JumpEvery: 2048}
+	srcs := []Source{
+		&PerCPU{Reg: k.percpu, CPUs: cpus, WriteFrac: 0.5},
+		&Hot{Reg: k.shared, WriteFrac: 0.35, Stride: 3},
+	}
+	weights := []float64{0.45, 0.35}
+	if kstack != nil {
+		srcs = append(srcs, &Sequential{Reg: *kstack, WriteFrac: 0.6})
+		weights = append(weights, 0.20)
+	}
+	return code, srcs, weights
+}
+
+// Engineering builds the multiprogrammed engineering workload: six copies of
+// a VCS-like compiled-circuit simulator (a very large shared text segment
+// walked cyclically — the source of the 34% instruction stall) and six
+// copies of a Flashlite-like functional simulator (streaming private data
+// larger than the L2). Twelve sequential processes on eight CPUs under
+// affinity scheduling: load-balancing moves strand private data on old
+// nodes (migration fixes it) while the shared text of the six instances is
+// the replication opportunity.
+func Engineering(scale float64, seed uint64) *Spec {
+	const cpus = 8
+	r := sim.NewRand(seed)
+	l := &Layout{}
+	k := buildKernel(l, cpus, scale)
+
+	vcsCode := l.NewRegion("vcs.text", scaled(256, scale), CodeRegion, true)
+	flCode := l.NewRegion("flashlite.text", scaled(64, scale), CodeRegion, true)
+
+	s := &Spec{
+		Name:     "engineering",
+		Sched:    SchedAffinity,
+		Duration: 400 * sim.Millisecond,
+		Trigger:  96, // the paper tunes engineering to 96 (Section 7)
+	}
+	for i := 0; i < 6; i++ {
+		data := l.NewRegion(fmt.Sprintf("vcs%d.data", i), scaled(160, scale), DataRegion, false)
+		kc, kd, kw := kernelSide(k, cpus, nil)
+		g := &Gen{
+			// The compiled-circuit text is walked cyclically (every cold
+			// fetch misses); the hot loop sets the instruction miss rate.
+			Code:     &CodeWalk{Reg: vcsCode, HotFrac: 0.93, HotLines: 96},
+			Data:     []Source{&Sequential{Reg: data, WriteFrac: 0.3}},
+			Weights:  []float64{1},
+			DataFrac: 0.6, Locality: 0.94, KLocality: 0.88,
+			KCode: kc, KData: kd, KWeights: kw,
+			KernelFrac: 0.05, KernelBurst: 150,
+			BlockEvery: 40000, BlockDur: 700 * sim.Microsecond,
+			ExitAfter: uint64(scaled(3300000, scale)),
+		}
+		g.Reset(r.Uint64())
+		s.Procs = append(s.Procs, ProcSpec{
+			Name: fmt.Sprintf("vcs%d", i), Gen: g, Pin: -1,
+			Private: []Region{data},
+		})
+	}
+	for i := 0; i < 6; i++ {
+		data := l.NewRegion(fmt.Sprintf("flashlite%d.data", i), scaled(176, scale), DataRegion, false)
+		kc, kd, kw := kernelSide(k, cpus, nil)
+		g := &Gen{
+			Code:     &CodeWalk{Reg: flCode, HotFrac: 0.9, HotLines: 96, LoopLines: 768, JumpEvery: 6000},
+			Data:     []Source{&Sequential{Reg: data, WriteFrac: 0.35}},
+			Weights:  []float64{1},
+			DataFrac: 0.65, Locality: 0.92, KLocality: 0.88,
+			KCode: kc, KData: kd, KWeights: kw,
+			KernelFrac: 0.05, KernelBurst: 150,
+			BlockEvery: 40000, BlockDur: 700 * sim.Microsecond,
+			ExitAfter: uint64(scaled(3300000, scale)),
+		}
+		g.Reset(r.Uint64())
+		s.Procs = append(s.Procs, ProcSpec{
+			Name: fmt.Sprintf("flashlite%d", i), Gen: g, Pin: -1,
+			Private: []Region{data},
+		})
+	}
+	s.Regions = l.Regions
+	s.Pages = l.Pages()
+	return s
+}
+
+// Raytrace builds the single parallel application: eight workers locked to
+// processors making spatially-concentrated but unstructured read-only
+// accesses to a large shared scene. The master (proc 0) initialises the
+// scene before the run, so first-touch strands it all on node 0 — dynamic
+// replication is the fix (60% of data misses sit in read chains >= 512,
+// Figure 4).
+func Raytrace(scale float64, seed uint64) *Spec {
+	const cpus = 8
+	r := sim.NewRand(seed)
+	l := &Layout{}
+	k := buildKernel(l, cpus, scale)
+
+	code := l.NewRegion("raytrace.text", scaled(48, scale), CodeRegion, true)
+	scene := l.NewRegion("raytrace.scene", scaled(640, scale), DataRegion, true)
+	workq := l.NewRegion("raytrace.workq", scaled(24, scale), DataRegion, true)
+
+	s := &Spec{
+		Name:     "raytrace",
+		Sched:    SchedPinned,
+		Duration: 400 * sim.Millisecond,
+		Trigger:  128,
+	}
+	for i := 0; i < cpus; i++ {
+		priv := l.NewRegion(fmt.Sprintf("raytrace%d.stack", i), scaled(24, scale), DataRegion, false)
+		kc, kd, kw := kernelSide(k, cpus, nil)
+		g := &Gen{
+			Code: &CodeWalk{Reg: code, HotFrac: 0.97, HotLines: 128, LoopLines: 1024, JumpEvery: 8192},
+			Data: []Source{
+				// A window wider than the L2 keeps scene lines missing, so
+				// the pages a worker is rendering stay hot.
+				&Window{Reg: scene, W: scaled(200, scale), MoveEvery: 3000},
+				&Sync{Reg: workq, WriteFrac: 0.5},
+				&Sequential{Reg: priv, WriteFrac: 0.4},
+			},
+			Weights:  []float64{0.75, 0.08, 0.17},
+			DataFrac: 0.7, Locality: 0.9, KLocality: 0.82, KDataFrac: 0.6,
+			KCode: kc, KData: kd, KWeights: kw,
+			KernelFrac: 0.22, KernelBurst: 250,
+			BlockEvery: 200000, BlockDur: 1 * sim.Millisecond,
+			ExitAfter: uint64(scaled(4000000, scale)),
+		}
+		g.Reset(r.Uint64())
+		// Stagger each worker's window across the scene.
+		g.Data[0].(*Window).base = i * scene.N / cpus
+		s.Procs = append(s.Procs, ProcSpec{
+			Name: fmt.Sprintf("ray%d", i), Gen: g, Pin: mem.CPUID(i),
+			Private: []Region{priv},
+		})
+	}
+	s.PreTouches = []PreTouch{{Proc: 0, Region: scene}, {Proc: 0, Region: code}}
+	s.Regions = l.Regions
+	s.Pages = l.Pages()
+	return s
+}
+
+// Splash builds the multiprogrammed scientific workload: parallel raytrace
+// and volume-rendering jobs (read-mostly shared structures, replication
+// candidates) and an Ocean job (nearest-neighbour grid chunks, migration
+// candidates), entering and leaving under space partitioning so jobs are
+// periodically redistributed across the processors. Node memory is sized
+// tightly, so replication runs into No-Page failures as in the paper
+// (Table 4: 24%).
+func Splash(scale float64, seed uint64) *Spec {
+	const cpus = 8
+	r := sim.NewRand(seed)
+	l := &Layout{}
+	k := buildKernel(l, cpus, scale)
+
+	dur := 400 * sim.Millisecond
+
+	s := &Spec{
+		Name:     "splash",
+		Sched:    SchedPartition,
+		Duration: dur,
+		Trigger:  128,
+	}
+
+	// Job 1: raytrace (present for the whole run).
+	rtCode := l.NewRegion("rt.text", scaled(24, scale), CodeRegion, true)
+	rtScene := l.NewRegion("rt.scene", scaled(256, scale), DataRegion, true)
+	for i := 0; i < 6; i++ {
+		priv := l.NewRegion(fmt.Sprintf("rt%d.data", i), scaled(16, scale), DataRegion, false)
+		kc, kd, kw := kernelSide(k, cpus, nil)
+		g := &Gen{
+			Code: &CodeWalk{Reg: rtCode, HotFrac: 0.92, HotLines: 96, LoopLines: 512, JumpEvery: 4096},
+			Data: []Source{
+				&Window{Reg: rtScene, W: scaled(140, scale), MoveEvery: 2500},
+				&Sequential{Reg: priv, WriteFrac: 0.4},
+			},
+			Weights:  []float64{0.8, 0.2},
+			DataFrac: 0.65, Locality: 0.92, KLocality: 0.88,
+			KCode: kc, KData: kd, KWeights: kw,
+			KernelFrac: 0.12, KernelBurst: 200,
+			BlockEvery: 30000, BlockDur: 1 * sim.Millisecond,
+			ExitAfter: uint64(scaled(1900000, scale)),
+		}
+		g.Reset(r.Uint64())
+		g.Data[0].(*Window).base = i * rtScene.N / 6
+		s.Procs = append(s.Procs, ProcSpec{
+			Name: fmt.Sprintf("splash.rt%d", i), Gen: g, Pin: -1, Job: 1,
+			Private: []Region{priv},
+		})
+	}
+	s.PreTouches = append(s.PreTouches, PreTouch{Proc: 0, Region: rtScene})
+
+	// Job 2: volume rendering, enters at T/4.
+	vrCode := l.NewRegion("volrend.text", scaled(24, scale), CodeRegion, true)
+	volume := l.NewRegion("volrend.volume", scaled(224, scale), DataRegion, true)
+	for i := 0; i < 6; i++ {
+		priv := l.NewRegion(fmt.Sprintf("volrend%d.data", i), scaled(16, scale), DataRegion, false)
+		kc, kd, kw := kernelSide(k, cpus, nil)
+		g := &Gen{
+			Code: &CodeWalk{Reg: vrCode, HotFrac: 0.92, HotLines: 96, LoopLines: 512, JumpEvery: 4096},
+			Data: []Source{
+				&Window{Reg: volume, W: scaled(130, scale), MoveEvery: 2500},
+				&Sequential{Reg: priv, WriteFrac: 0.4},
+			},
+			Weights:  []float64{0.8, 0.2},
+			DataFrac: 0.65, Locality: 0.92, KLocality: 0.88,
+			KCode: kc, KData: kd, KWeights: kw,
+			KernelFrac: 0.12, KernelBurst: 200,
+			BlockEvery: 30000, BlockDur: 1 * sim.Millisecond,
+			ExitAfter: uint64(scaled(1400000, scale)),
+		}
+		g.Reset(r.Uint64())
+		g.Data[0].(*Window).base = i * volume.N / 6
+		s.Procs = append(s.Procs, ProcSpec{
+			Name: fmt.Sprintf("splash.vr%d", i), Gen: g, Pin: -1, Job: 2,
+			StartAt: dur / 4,
+			Private: []Region{priv},
+		})
+	}
+
+	// Job 3: Ocean — chunked grid, leaves at 3T/4.
+	ocCode := l.NewRegion("ocean.text", scaled(16, scale), CodeRegion, true)
+	grid := l.NewRegion("ocean.grid", scaled(640, scale), DataRegion, true)
+	for i := 0; i < 4; i++ {
+		kc, kd, kw := kernelSide(k, cpus, nil)
+		g := &Gen{
+			Code: &CodeWalk{Reg: ocCode, HotFrac: 0.93, HotLines: 96, LoopLines: 384, JumpEvery: 4096},
+			Data: []Source{
+				// Each chunk (grid/4) exceeds the L2, so a process's slice
+				// keeps missing — the migration opportunity.
+				&Chunk{Reg: grid, Index: i, Total: 4, BoundaryFrac: 0.04, WriteFrac: 0.35},
+			},
+			Weights:  []float64{1},
+			DataFrac: 0.7, Locality: 0.9, KLocality: 0.88,
+			KCode: kc, KData: kd, KWeights: kw,
+			KernelFrac: 0.12, KernelBurst: 200,
+			BlockEvery: 30000, BlockDur: 1 * sim.Millisecond,
+			ExitAfter: uint64(scaled(1800000, scale)),
+		}
+		g.Reset(r.Uint64())
+		s.Procs = append(s.Procs, ProcSpec{
+			Name: fmt.Sprintf("splash.ocean%d", i), Gen: g, Pin: -1, Job: 3,
+		})
+	}
+
+	s.Regions = l.Regions
+	s.Pages = l.Pages()
+	// Tight node memory: total footprint fits comfortably machine-wide, but
+	// replication exhausts individual nodes (Section 7.1.1, Splash).
+	perNode := int64(s.Pages/cpus+scaled(110, scale)) * mem.PageSize
+	s.MemoryPerNode = perNode
+	return s
+}
+
+// Database builds the decision-support workload: four Sybase-like engines
+// locked to the processors of a four-node machine. Ninety percent of the
+// data misses hit a small set of fine-grain write-shared synchronization
+// pages (no policy can help them; the decision tree must say no), and about
+// ten percent hit read-mostly relation pages.
+func Database(scale float64, seed uint64) *Spec {
+	const cpus = 4
+	r := sim.NewRand(seed)
+	l := &Layout{}
+	k := buildKernel(l, cpus, scale)
+
+	code := l.NewRegion("sybase.text", scaled(64, scale), CodeRegion, true)
+	relations := l.NewRegion("sybase.relations", scaled(384, scale), DataRegion, true)
+	syncPgs := l.NewRegion("sybase.sync", scaled(20, scale), DataRegion, true)
+
+	s := &Spec{
+		Name:     "database",
+		Sched:    SchedPinned,
+		Duration: 400 * sim.Millisecond,
+		Trigger:  128,
+		Nodes:    cpus,
+	}
+	for i := 0; i < cpus; i++ {
+		priv := l.NewRegion(fmt.Sprintf("engine%d.data", i), scaled(24, scale), DataRegion, false)
+		kc, kd, kw := kernelSide(k, cpus, nil)
+		g := &Gen{
+			Code: &CodeWalk{Reg: code, HotFrac: 0.95, HotLines: 96, LoopLines: 256, JumpEvery: 2048},
+			Data: []Source{
+				&Sync{Reg: syncPgs, WriteFrac: 0.55},
+				&Hot{Reg: relations, WriteFrac: 0.02, Stride: 7},
+				&Sequential{Reg: priv, WriteFrac: 0.4},
+			},
+			Weights:  []float64{0.82, 0.12, 0.06},
+			DataFrac: 0.75, Locality: 0.85, KLocality: 0.88,
+			KCode: kc, KData: kd, KWeights: kw,
+			KernelFrac: 0.07, KernelBurst: 150,
+			BlockEvery: 50000, BlockDur: 2 * sim.Millisecond,
+			ExitAfter: uint64(scaled(3000000, scale)),
+		}
+		g.Reset(r.Uint64())
+		s.Procs = append(s.Procs, ProcSpec{
+			Name: fmt.Sprintf("engine%d", i), Gen: g, Pin: mem.CPUID(i),
+			Private: []Region{priv},
+		})
+	}
+	s.PreTouches = []PreTouch{{Proc: 0, Region: relations}, {Proc: 0, Region: syncPgs}}
+	s.Regions = l.Regions
+	s.Pages = l.Pages()
+	return s
+}
+
+// Pmake builds the software-development workload: sixteen compile slots
+// (four four-way parallel makes) of short-lived processes under affinity
+// scheduling, blocking on I/O and respawning on exit. The bulk of the
+// memory stall is kernel: per-CPU structures (local by construction),
+// write-shared kernel data (unhelpable), and kernel text (the only
+// replication opportunity, ~12% of kernel misses — Section 8.2).
+func Pmake(scale float64, seed uint64) *Spec {
+	const cpus = 8
+	r := sim.NewRand(seed)
+	l := &Layout{}
+	k := buildKernel(l, cpus, scale)
+
+	ccCode := l.NewRegion("cc.text", scaled(48, scale), CodeRegion, true)
+
+	s := &Spec{
+		Name:     "pmake",
+		Sched:    SchedAffinity,
+		Duration: 400 * sim.Millisecond,
+		Trigger:  128,
+	}
+	for i := 0; i < 16; i++ {
+		priv := l.NewRegion(fmt.Sprintf("cc%d.data", i), scaled(24, scale), DataRegion, false)
+		kstack := l.NewRegion(fmt.Sprintf("cc%d.kstack", i), 2, DataRegion, false)
+		kc, kd, kw := kernelSide(k, cpus, &kstack)
+		g := &Gen{
+			Code: &CodeWalk{Reg: ccCode, HotFrac: 0.98, HotLines: 96, LoopLines: 640, JumpEvery: 3000},
+			Data: []Source{
+				&Sequential{Reg: priv, WriteFrac: 0.5},
+			},
+			Weights:  []float64{1},
+			DataFrac: 0.5, Locality: 0.93, KLocality: 0.8,
+			KCode: kc, KData: kd, KWeights: kw,
+			KernelFrac: 0.55, KernelBurst: 400,
+			BlockEvery: 10000, BlockDur: 600 * sim.Microsecond,
+			ExitAfter: uint64(scaled(450000, scale)),
+		}
+		g.Reset(r.Uint64())
+		s.Procs = append(s.Procs, ProcSpec{
+			Name: fmt.Sprintf("cc%d", i), Gen: g, Pin: -1, Job: i / 4,
+			Respawn: true, MaxRespawns: 3,
+			Private: []Region{priv, kstack},
+		})
+	}
+	s.Regions = l.Regions
+	s.Pages = l.Pages()
+	return s
+}
