@@ -1,0 +1,30 @@
+GO ?= go
+
+# Tier-1 verification plus the race detector and a benchmark smoke run.
+# `make ci` is what a CI job should run.
+.PHONY: ci vet build test race bench-smoke bench
+
+ci: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The experiment harness is concurrent (report.Harness singleflight memo,
+# per-experiment worker pools); keep the race detector in the loop.
+race:
+	$(GO) test -race ./...
+
+# One cheap iteration of the trace-simulator benchmark proves the bench
+# harness still builds and runs end to end.
+bench-smoke:
+	BENCH_SCALE=0.1 $(GO) test -run '^$$' -bench BenchmarkTraceSimThroughput -benchtime 1x .
+
+# The full paper-regeneration benchmark suite (see bench_test.go).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .

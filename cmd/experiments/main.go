@@ -6,13 +6,19 @@
 //	experiments                 # run everything at full scale
 //	experiments -only F3,T4     # a subset
 //	experiments -scale 0.5      # smaller, faster workloads
+//	experiments -j 4            # at most 4 concurrent simulations
 //	experiments -out EXPERIMENTS.out.md
+//
+// Each experiment fans its independent simulations across -j workers; the
+// rendered report is byte-identical at any -j (verified by the report
+// package's determinism test).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -26,6 +32,7 @@ func main() {
 		only  = flag.String("only", "", "comma-separated experiment ids (default all)")
 		out   = flag.String("out", "", "also write the report to this file")
 		list  = flag.Bool("list", false, "list experiment ids and exit")
+		jobs  = flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations per experiment")
 	)
 	flag.Parse()
 
@@ -36,35 +43,59 @@ func main() {
 		return
 	}
 
-	h := report.NewHarness(*scale, *seed)
-	var doc strings.Builder
-	run := func(e report.Experiment) {
-		start := time.Now()
-		body := e.Run(h)
-		fmt.Fprintf(&doc, "## %s — %s\n\n%s\n", e.ID, e.Title, body)
-		fmt.Printf("== %s — %s (%v)\n\n%s\n", e.ID, e.Title, time.Since(start).Round(time.Millisecond), body)
-	}
-
-	if *only == "" {
-		for _, e := range report.Experiments() {
-			run(e)
-		}
-	} else {
+	// Resolve every requested id before running anything, so a typo at the
+	// end of -only fails fast instead of discarding completed experiments.
+	exps := report.Experiments()
+	if *only != "" {
+		exps = exps[:0]
+		bad := false
 		for _, id := range strings.Split(*only, ",") {
 			e, err := report.ByID(strings.TrimSpace(id))
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "experiments:", err)
-				os.Exit(1)
+				bad = true
+				continue
 			}
-			run(e)
+			exps = append(exps, e)
+		}
+		if bad {
+			os.Exit(1)
 		}
 	}
 
-	if *out != "" {
+	h := report.NewHarness(*scale, *seed)
+	h.Workers = *jobs
+	var doc strings.Builder
+	writeOut := func() {
+		if *out == "" || doc.Len() == 0 {
+			return
+		}
 		if err := os.WriteFile(*out, []byte(doc.String()), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			return
 		}
 		fmt.Println("wrote", *out)
 	}
+	// A failed simulation surfaces as a panic from the report layer; keep
+	// the completed sections by writing the partial document on that path.
+	defer func() {
+		if r := recover(); r != nil {
+			writeOut()
+			fmt.Fprintln(os.Stderr, "experiments:", r)
+			os.Exit(1)
+		}
+	}()
+
+	start := time.Now()
+	for _, e := range exps {
+		t0 := time.Now()
+		body := e.Run(h)
+		fmt.Fprintf(&doc, "## %s — %s\n\n%s\n", e.ID, e.Title, body)
+		fmt.Printf("== %s — %s (%v)\n\n%s\n", e.ID, e.Title, time.Since(t0).Round(time.Millisecond), body)
+	}
+	executed, hits := h.Counters()
+	fmt.Printf("== %d experiments in %v (-j %d): %d simulations run, %d served from memo\n",
+		len(exps), time.Since(start).Round(time.Millisecond), *jobs, executed, hits)
+
+	writeOut()
 }

@@ -101,6 +101,17 @@ type Options struct {
 	ReclaimColdReplicas bool
 }
 
+// Fingerprint renders every field of the options into a string that
+// distinguishes any two simulations that could produce different results.
+// Memo caches (internal/report) key on it, so it must cover the full
+// struct: %+v recurses into Config and Params and picks up new fields
+// automatically. Placement is a function value and formats as its code
+// address — stable within a process, which is all an in-process memo needs
+// (two distinct placer values conservatively get distinct keys).
+func (o Options) Fingerprint() string {
+	return fmt.Sprintf("%+v", o)
+}
+
 func (o Options) withDefaults(spec specLike) (Options, error) {
 	if o.Config.Nodes == 0 {
 		o.Config = topology.CCNUMA()

@@ -64,7 +64,18 @@ func Base() Params {
 // threshold to t/4 (the coupling used throughout the paper's experiments).
 func (p Params) WithTrigger(t uint16) Params {
 	p.Trigger = t
-	p.Sharing = t / 4
+	return p.WithSharingFraction(4)
+}
+
+// WithSharingFraction returns p with the sharing threshold set to
+// Trigger/frac, clamped to at least 1 so the parameters stay valid at small
+// triggers. This is the single home of the clamp: WithTrigger and the
+// Section-8.4 sharing sweep both derive the threshold through it.
+func (p Params) WithSharingFraction(frac uint16) Params {
+	if frac == 0 {
+		frac = 1
+	}
+	p.Sharing = p.Trigger / frac
 	if p.Sharing == 0 {
 		p.Sharing = 1
 	}

@@ -9,6 +9,32 @@ import (
 
 func row(vals ...uint16) []uint16 { return vals }
 
+func TestWithSharingFraction(t *testing.T) {
+	p := Base().WithTrigger(96)
+	if q := p.WithSharingFraction(8); q.Sharing != 12 {
+		t.Fatalf("96/8: sharing = %d, want 12", q.Sharing)
+	}
+	if q := p.WithSharingFraction(2); q.Sharing != 48 {
+		t.Fatalf("96/2: sharing = %d, want 48", q.Sharing)
+	}
+	// The clamp: a fraction larger than the trigger must not produce the
+	// invalid Sharing == 0.
+	low := Base().WithTrigger(2)
+	if q := low.WithSharingFraction(8); q.Sharing != 1 {
+		t.Fatalf("2/8: sharing = %d, want clamped 1", q.Sharing)
+	}
+	if q := low.WithSharingFraction(0); q.Sharing != 2 {
+		t.Fatalf("frac 0 treated as 1: sharing = %d, want 2", q.Sharing)
+	}
+	// WithTrigger derives its threshold through the same helper.
+	if p.Sharing != p.WithSharingFraction(4).Sharing {
+		t.Fatalf("WithTrigger coupling drifted: %d vs %d", p.Sharing, p.WithSharingFraction(4).Sharing)
+	}
+	if err := low.WithSharingFraction(8).Validate(); err != nil {
+		t.Fatalf("clamped params invalid: %v", err)
+	}
+}
+
 func TestBaseParamsMatchPaper(t *testing.T) {
 	p := Base()
 	if p.Trigger != 128 || p.Sharing != 32 || p.Write != 1 || p.Migrate != 1 {

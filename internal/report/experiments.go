@@ -46,8 +46,10 @@ func init() {
 
 func table3(h *Harness) string {
 	var b strings.Builder
+	wls := append(append([]string{}, fig3Workloads...), "pmake")
+	h.forEach(len(wls), func(i int) { h.FT(wls[i]) })
 	row(&b, "workload", "user%", "kern%", "idle%", "Kinstr%", "Kdata%", "Uinstr%", "Udata%")
-	for _, wl := range append(append([]string{}, fig3Workloads...), "pmake") {
+	for _, wl := range wls {
 		r := h.FT(wl)
 		bd := &r.Agg
 		tot, ni := bd.Total(), bd.NonIdle()
@@ -82,6 +84,13 @@ func memStall(r *core.Result) sim.Time {
 
 func figure3(h *Harness) string {
 	var b strings.Builder
+	h.forEach(2*len(fig3Workloads), func(i int) {
+		if wl := fig3Workloads[i/2]; i%2 == 0 {
+			h.FT(wl)
+		} else {
+			h.MigRep(wl)
+		}
+	})
 	row(&b, "workload", "time impr", "(paper)", "stall impr", "(paper)", "FT local%", "M/R local%", "overhead%")
 	for _, wl := range fig3Workloads {
 		ft, mr := h.FT(wl), h.MigRep(wl)
@@ -107,6 +116,7 @@ var paperT4 = map[string][5]float64{
 
 func table4(h *Harness) string {
 	var b strings.Builder
+	h.forEach(len(fig3Workloads), func(i int) { h.MigRep(fig3Workloads[i]) })
 	row(&b, "workload", "hot pages", "migrate%", "replicate%", "no-action%", "no-page%")
 	for _, wl := range fig3Workloads {
 		mr := h.MigRep(wl)
@@ -120,6 +130,12 @@ func table4(h *Harness) string {
 
 func contention(h *Harness) string {
 	var b strings.Builder
+	h.warm(
+		func() { h.FT("engineering") },
+		func() { h.MigRep("engineering") },
+		func() { h.Run("engineering", core.Options{Config: topology.ZeroNet()}) },
+		func() { h.Run("engineering", core.Options{Config: topology.ZeroNet(), Dynamic: true}) },
+	)
 	ft, mr := h.FT("engineering"), h.MigRep("engineering")
 	fc, mc := ft.Contention, mr.Contention
 	row(&b, "metric", "FT", "Mig/Rep", "reduction", "(paper)")
@@ -153,6 +169,12 @@ func safeDiv(a, b float64) float64 {
 
 func figure5(h *Harness) string {
 	var b strings.Builder
+	h.warm(
+		func() { h.FT("engineering") },
+		func() { h.MigRep("engineering") },
+		func() { h.Run("engineering", core.Options{Config: topology.CCNOW()}) },
+		func() { h.Run("engineering", core.Options{Config: topology.CCNOW(), Dynamic: true}) },
+	)
 	numaFT, numaMR := h.FT("engineering"), h.MigRep("engineering")
 	nowFT := h.Run("engineering", core.Options{Config: topology.CCNOW()})
 	nowMR := h.Run("engineering", core.Options{Config: topology.CCNOW(), Dynamic: true})
@@ -182,11 +204,14 @@ var t5Steps = []stats.PagerFunc{
 	stats.FnLinksMapping, stats.FnTLBFlush, stats.FnPageCopy, stats.FnPolicyEnd,
 }
 
+var t5Workloads = []string{"engineering", "raytrace", "splash"}
+
 func table5(h *Harness) string {
 	var b strings.Builder
+	h.forEach(len(t5Workloads), func(i int) { h.MigRep(t5Workloads[i]) })
 	scale := 1.0 / topology.CCNUMA().CostScale
 	row(&b, "workload/op", "Intr", "Decide", "Alloc", "Links", "TLB", "Copy", "End", "Total")
-	for _, wl := range []string{"engineering", "raytrace", "splash"} {
+	for _, wl := range t5Workloads {
 		mr := h.MigRep(wl)
 		for ki, kind := range []stats.OpKind{stats.OpReplicate, stats.OpMigrate} {
 			ol := mr.Agg.Pager.OpLatency[kind]
@@ -223,8 +248,19 @@ var t6Funcs = []stats.PagerFunc{
 
 func table6(h *Harness) string {
 	var b strings.Builder
+	trackCfg := topology.CCNUMA()
+	trackCfg.TrackTLBHolders = true
+	copyCfg := topology.CCNUMA()
+	copyCfg.DirCopy = true
+	h.warm(
+		func() { h.MigRep("engineering") },
+		func() { h.MigRep("raytrace") },
+		func() { h.MigRep("splash") },
+		func() { h.Run("engineering", core.Options{Config: trackCfg, Dynamic: true}) },
+		func() { h.Run("engineering", core.Options{Config: copyCfg, Dynamic: true}) },
+	)
 	row(&b, "workload", "ovhd", "TLB%", "Alloc%", "Copy%", "Fault%", "Links%", "End%", "Decide%", "Intr%")
-	for _, wl := range []string{"engineering", "raytrace", "splash"} {
+	for _, wl := range t5Workloads {
 		mr := h.MigRep(wl)
 		pb := &mr.Agg.Pager
 		cells := []string{wl, pb.Total().String()}
@@ -243,11 +279,7 @@ func table6(h *Harness) string {
 	// Ablations the paper discusses in 7.2.2: tracking TLB holders
 	// (-25% kernel overhead) and the directory's pipelined copy.
 	baseRun := h.MigRep("engineering")
-	trackCfg := topology.CCNUMA()
-	trackCfg.TrackTLBHolders = true
 	tracked := h.Run("engineering", core.Options{Config: trackCfg, Dynamic: true})
-	copyCfg := topology.CCNUMA()
-	copyCfg.DirCopy = true
 	dircopy := h.Run("engineering", core.Options{Config: copyCfg, Dynamic: true})
 	fmt.Fprintf(&b, "\nablations (engineering): base overhead %v, busy %v\n",
 		baseRun.Agg.Pager.Total(), baseRun.Agg.NonIdle())
@@ -261,6 +293,10 @@ func table6(h *Harness) string {
 
 func spaceOverhead(h *Harness) string {
 	var b strings.Builder
+	h.warm(
+		func() { h.MigRep("engineering") },
+		func() { h.Run("engineering", core.Options{Dynamic: true, Metric: core.SampledCache}) },
+	)
 	row(&b, "configuration", "overhead", "(paper)")
 	row(&b, "8 nodes, 1B ctrs", pct(100*directory.SpaceOverhead(8, 1)), "0.2%")
 	row(&b, "128 nodes, 1B", pct(100*directory.SpaceOverhead(128, 1)), "3.1%")
@@ -275,6 +311,11 @@ func spaceOverhead(h *Harness) string {
 
 func replicationSpace(h *Harness) string {
 	var b strings.Builder
+	h.warm(
+		func() { h.MigRep("engineering") },
+		func() { h.MigRep("raytrace") },
+		func() { h.Run("engineering", core.Options{Dynamic: true, ReplicateCodeOnFirstTouch: true}) },
+	)
 	row(&b, "workload", "policy repl", "(paper)", "code-FT repl", "(paper)")
 	for _, wl := range []string{"engineering", "raytrace"} {
 		mr := h.MigRep(wl)
@@ -299,6 +340,7 @@ func replicationSpace(h *Harness) string {
 
 func figure4(h *Harness) string {
 	var b strings.Builder
+	h.forEach(len(fig3Workloads), func(i int) { h.Trace(fig3Workloads[i]) })
 	ths := []int{1, 8, 64, 512}
 	row(&b, "workload", ">=1", ">=8", ">=64", ">=512", "paper(>=512)")
 	paper512 := map[string]string{"raytrace": "60%", "splash": "30%", "engineering": "-", "database": "low"}
@@ -324,11 +366,13 @@ func traceCfg(h *Harness, wl string) tracesim.Config {
 
 func figure6(h *Harness) string {
 	var b strings.Builder
+	grid := simGrid(h, fig3Workloads, len(tracesim.Kinds), (*trace.Trace).UserOnly,
+		func(tr *trace.Trace, cfg tracesim.Config, v int) tracesim.Outcome {
+			return tracesim.Simulate(tr, cfg, tracesim.Kinds[v])
+		})
 	row(&b, "workload", "RR", "FT", "PF", "Migr", "Repl", "Mig/Rep", "local%(M/R)")
-	for _, wl := range fig3Workloads {
-		tr := h.Trace(wl).UserOnly()
-		cfg := traceCfg(h, wl)
-		outs := tracesim.SimulateAll(tr, cfg)
+	for wi, wl := range fig3Workloads {
+		outs := grid[wi]
 		base := outs[0].Total() // RR
 		cells := []string{wl}
 		var last tracesim.Outcome
@@ -341,8 +385,7 @@ func figure6(h *Harness) string {
 	}
 	b.WriteString("\nengineering, normalized (the paper's Figure-6 bars):\n")
 	{
-		tr := h.Trace("engineering").UserOnly()
-		outs := tracesim.SimulateAll(tr, traceCfg(h, "engineering"))
+		outs := grid[0] // engineering
 		base := float64(outs[0].Total())
 		labels := make([]string, len(outs))
 		vals := make([]float64, len(outs))
@@ -364,9 +407,11 @@ func figure6(h *Harness) string {
 
 func figure7(h *Harness) string {
 	var b strings.Builder
+	outs := simGrid(h, []string{"pmake"}, len(tracesim.Kinds), (*trace.Trace).KernelOnly,
+		func(tr *trace.Trace, cfg tracesim.Config, v int) tracesim.Outcome {
+			return tracesim.Simulate(tr, cfg, tracesim.Kinds[v])
+		})[0]
 	tr := h.Trace("pmake").KernelOnly()
-	cfg := traceCfg(h, "pmake")
-	outs := tracesim.SimulateAll(tr, cfg)
 	base := outs[0].Total()
 	row(&b, "pmake kernel", "RR", "FT", "PF", "Migr", "Repl", "Mig/Rep")
 	cells := []string{"normalized"}
@@ -390,14 +435,23 @@ func figure7(h *Harness) string {
 
 func figure8(h *Harness) string {
 	var b strings.Builder
+	metrics := []tracesim.Metric{tracesim.FullCache, tracesim.SampledCache,
+		tracesim.FullTLB, tracesim.SampledTLB}
+	// Variant 0 is the round-robin baseline; 1..4 run Mig/Rep under each
+	// Figure-8 information source.
+	grid := simGrid(h, fig3Workloads, 1+len(metrics), (*trace.Trace).UserOnly,
+		func(tr *trace.Trace, cfg tracesim.Config, v int) tracesim.Outcome {
+			if v == 0 {
+				return tracesim.Simulate(tr, cfg, tracesim.RR)
+			}
+			cfg.Metric = metrics[v-1]
+			return tracesim.Simulate(tr, cfg, tracesim.MigRep)
+		})
 	row(&b, "workload", "FC", "SC", "FT", "ST", "RR-norm")
-	for _, wl := range fig3Workloads {
-		tr := h.Trace(wl).UserOnly()
-		cfg := traceCfg(h, wl)
-		rr := tracesim.Simulate(tr, cfg, tracesim.RR).Total()
-		outs := tracesim.SimulateMetrics(tr, cfg)
+	for wi, wl := range fig3Workloads {
+		rr := grid[wi][0].Total()
 		cells := []string{wl}
-		for _, o := range outs {
+		for _, o := range grid[wi][1:] {
 			cells = append(cells, fmt.Sprintf("%.2f", float64(o.Total())/float64(rr)))
 		}
 		cells = append(cells, "1.00")
@@ -410,18 +464,22 @@ func figure8(h *Harness) string {
 func figure9(h *Harness) string {
 	var b strings.Builder
 	triggers := []uint16{16, 32, 64, 128, 256}
+	// Variant 0 is the round-robin baseline; 1..n sweep the trigger.
+	grid := simGrid(h, fig3Workloads, 1+len(triggers), (*trace.Trace).UserOnly,
+		func(tr *trace.Trace, cfg tracesim.Config, v int) tracesim.Outcome {
+			if v == 0 {
+				return tracesim.Simulate(tr, cfg, tracesim.RR)
+			}
+			cfg.Params = cfg.Params.WithTrigger(triggers[v-1])
+			return tracesim.Simulate(tr, cfg, tracesim.MigRep)
+		})
 	row(&b, "workload", "t=16", "t=32", "t=64", "t=128", "t=256", "best")
-	for _, wl := range fig3Workloads {
-		tr := h.Trace(wl).UserOnly()
-		cfg := traceCfg(h, wl)
-		rr := tracesim.Simulate(tr, cfg, tracesim.RR).Total()
+	for wi, wl := range fig3Workloads {
+		rr := grid[wi][0].Total()
 		cells := []string{wl}
 		best, bestV := uint16(0), 1e18
-		for _, t := range triggers {
-			c := cfg
-			c.Params = cfg.Params.WithTrigger(t)
-			o := tracesim.Simulate(tr, c, tracesim.MigRep)
-			v := float64(o.Total()) / float64(rr)
+		for ti, t := range triggers {
+			v := float64(grid[wi][1+ti].Total()) / float64(rr)
 			cells = append(cells, fmt.Sprintf("%.2f", v))
 			if v < bestV {
 				best, bestV = t, v
@@ -436,21 +494,22 @@ func figure9(h *Harness) string {
 
 func sharingSweep(h *Harness) string {
 	var b strings.Builder
-	fracs := []int{8, 4, 2} // sharing = trigger/frac
-	row(&b, "workload", "T/8", "T/4", "T/2")
-	for _, wl := range fig3Workloads {
-		tr := h.Trace(wl).UserOnly()
-		cfg := traceCfg(h, wl)
-		rr := tracesim.Simulate(tr, cfg, tracesim.RR).Total()
-		cells := []string{wl}
-		for _, f := range fracs {
-			c := cfg
-			c.Params.Sharing = c.Params.Trigger / uint16(f)
-			if c.Params.Sharing == 0 {
-				c.Params.Sharing = 1
+	fracs := []uint16{8, 4, 2} // sharing = trigger/frac
+	// Variant 0 is the round-robin baseline; 1..n sweep the sharing divisor.
+	grid := simGrid(h, fig3Workloads, 1+len(fracs), (*trace.Trace).UserOnly,
+		func(tr *trace.Trace, cfg tracesim.Config, v int) tracesim.Outcome {
+			if v == 0 {
+				return tracesim.Simulate(tr, cfg, tracesim.RR)
 			}
-			o := tracesim.Simulate(tr, c, tracesim.MigRep)
-			cells = append(cells, fmt.Sprintf("%.2f", float64(o.Total())/float64(rr)))
+			cfg.Params = cfg.Params.WithSharingFraction(fracs[v-1])
+			return tracesim.Simulate(tr, cfg, tracesim.MigRep)
+		})
+	row(&b, "workload", "T/8", "T/4", "T/2")
+	for wi, wl := range fig3Workloads {
+		rr := grid[wi][0].Total()
+		cells := []string{wl}
+		for fi := range fracs {
+			cells = append(cells, fmt.Sprintf("%.2f", float64(grid[wi][1+fi].Total())/float64(rr)))
 		}
 		row(&b, cells...)
 	}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"ccnuma/internal/core"
+	"ccnuma/internal/trace"
 	"ccnuma/internal/tracesim"
 )
 
@@ -27,9 +28,13 @@ func extRemap(h *Harness) string {
 	// The paper blames part of Splash's small gain on processes that keep
 	// using a remote copy after moving next to a replica. Our base policy
 	// adds a cheap pte remap; disabling it reproduces the paper's kernel.
-	base := h.MigRep("splash")
 	params := h.BasePolicy("splash")
 	params.DisableRemap = true
+	h.warm(
+		func() { h.MigRep("splash") },
+		func() { h.Run("splash", core.Options{Dynamic: true, Params: params}) },
+	)
+	base := h.MigRep("splash")
 	limited := h.Run("splash", core.Options{Dynamic: true, Params: params})
 	row(&b, "splash", "nonidle", "local%", "remaps", "replications")
 	row(&b, "with remap", base.Agg.NonIdle().String(), pct(100*base.LocalMissFraction),
@@ -44,9 +49,13 @@ func extWriteShared(h *Harness) string {
 	var b strings.Builder
 	// The database workload is the write-shared stress case: 90% of misses
 	// hit fine-grain shared pages the base policy must leave alone.
-	base := h.MigRep("database")
 	params := h.BasePolicy("database")
 	params.MigrateWriteShared = true
+	h.warm(
+		func() { h.MigRep("database") },
+		func() { h.Run("database", core.Options{Dynamic: true, Params: params}) },
+	)
+	base := h.MigRep("database")
 	ext := h.Run("database", core.Options{Dynamic: true, Params: params})
 
 	row(&b, "policy", "nonidle", "remote handlers", "migrations", "local%")
@@ -63,6 +72,10 @@ func extWriteShared(h *Harness) string {
 func extReclaim(h *Harness) string {
 	var b strings.Builder
 	row(&b, "raytrace", "repl space", "replications", "collapses", "nonidle")
+	h.warm(
+		func() { h.MigRep("raytrace") },
+		func() { h.Run("raytrace", core.Options{Dynamic: true, ReclaimColdReplicas: true}) },
+	)
 	base := h.MigRep("raytrace")
 	rec := h.Run("raytrace", core.Options{Dynamic: true, ReclaimColdReplicas: true})
 	row(&b, "base", pct(100*base.Alloc.ReplicaOverhead()),
@@ -76,9 +89,20 @@ func extReclaim(h *Harness) string {
 func extAdaptive(h *Harness) string {
 	var b strings.Builder
 	row(&b, "engineering", "nonidle", "hot pages", "overhead%", "final trigger")
-	base := h.MigRep("engineering")
 	// Start the adaptive controller from a deliberately bad (too passive)
 	// trigger and let it walk toward the useful range.
+	h.warm(
+		func() { h.MigRep("engineering") },
+		func() {
+			h.Run("engineering", core.Options{Dynamic: true,
+				Params: h.BasePolicy("engineering").WithTrigger(512)})
+		},
+		func() {
+			h.Run("engineering", core.Options{Dynamic: true, AdaptiveTrigger: true,
+				Params: h.BasePolicy("engineering").WithTrigger(511)})
+		},
+	)
+	base := h.MigRep("engineering")
 	fixedBad := h.Run("engineering", core.Options{Dynamic: true,
 		Params: h.BasePolicy("engineering").WithTrigger(512)})
 	ad := h.Run("engineering", core.Options{Dynamic: true, AdaptiveTrigger: true,
@@ -98,14 +122,20 @@ func extAdaptive(h *Harness) string {
 
 func extGrouped(h *Harness) string {
 	var b strings.Builder
-	tr := h.Trace("engineering").UserOnly()
-	cfg := traceCfg(h, "engineering")
-	rr := tracesim.Simulate(tr, cfg, tracesim.RR).Total()
+	groups := []int{1, 2, 4}
+	// Variant 0 is the round-robin baseline; 1..n sweep the group size.
+	grid := simGrid(h, []string{"engineering"}, 1+len(groups), (*trace.Trace).UserOnly,
+		func(tr *trace.Trace, cfg tracesim.Config, v int) tracesim.Outcome {
+			if v == 0 {
+				return tracesim.Simulate(tr, cfg, tracesim.RR)
+			}
+			cfg.CounterGroup = groups[v-1]
+			return tracesim.Simulate(tr, cfg, tracesim.MigRep)
+		})[0]
+	rr := grid[0].Total()
 	row(&b, "counter group", "norm", "space/page", "migr", "repl")
-	for _, g := range []int{1, 2, 4} {
-		c := cfg
-		c.CounterGroup = g
-		o := tracesim.Simulate(tr, c, tracesim.MigRep)
+	for gi, g := range groups {
+		o := grid[1+gi]
 		row(&b, fmt.Sprintf("%d CPUs/ctr", g),
 			fmt.Sprintf("%.3f", float64(o.Total())/float64(rr)),
 			fmt.Sprintf("%dB", 8/g*2),

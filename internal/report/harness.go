@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"ccnuma/internal/core"
 	"ccnuma/internal/policy"
@@ -21,16 +23,32 @@ import (
 
 // Harness runs and memoizes simulations shared by several experiments
 // (e.g. one FT run per workload provides Figure 3's baseline, Table 3's
-// characterisation, and the Section-8 trace).
+// characterisation, and the Section-8 trace). Run and Trace are
+// goroutine-safe: concurrent calls for the same key share one simulation
+// (singleflight) instead of racing or duplicating it.
 type Harness struct {
 	// Scale is the workload scale factor (1.0 = default experiments; tests
 	// use smaller).
 	Scale float64
 	// Seed makes the whole suite reproducible.
 	Seed uint64
+	// Workers bounds how many simulations the sweep helpers (runner.go) run
+	// concurrently; 0 or 1 runs every sweep serially in its loop order.
+	Workers int
 
-	runs   map[string]*core.Result
+	mu     sync.Mutex
+	runs   map[string]*runEntry
 	traces map[string]*trace.Trace
+
+	executed atomic.Uint64 // simulations actually run
+	memoHits atomic.Uint64 // calls served by the memo (or a shared in-flight run)
+}
+
+// runEntry is a memo slot: the first caller owns the simulation, later
+// callers block on done and read res.
+type runEntry struct {
+	done chan struct{}
+	res  *core.Result
 }
 
 // NewHarness builds a harness at the given scale.
@@ -41,9 +59,15 @@ func NewHarness(scale float64, seed uint64) *Harness {
 	return &Harness{
 		Scale:  scale,
 		Seed:   seed,
-		runs:   map[string]*core.Result{},
+		runs:   map[string]*runEntry{},
 		traces: map[string]*trace.Trace{},
 	}
+}
+
+// Counters reports how many simulations actually executed and how many
+// Run/Trace calls were answered from the memo cache instead.
+func (h *Harness) Counters() (executed, memoHits uint64) {
+	return h.executed.Load(), h.memoHits.Load()
 }
 
 // Spec returns the (fresh) workload spec. Specs hold generator state, so a
@@ -56,38 +80,42 @@ func (h *Harness) spec(name string) *workload.Spec {
 	return build(h.Scale, h.Seed)
 }
 
-// RunKey identifies a memoized run.
+// RunKey identifies a memoized run. It is derived from the full
+// core.Options fingerprint: a hand-rolled field list here once omitted
+// Params.Sharing/Write/Migrate/ResetInterval, silently returning the wrong
+// cached Result for runs differing only in those thresholds.
 func runKey(wl string, opt core.Options) string {
-	pol := "ft"
-	switch {
-	case opt.Dynamic && opt.Params.EnableMigration && opt.Params.EnableReplication:
-		pol = "migrep"
-	case opt.Dynamic && opt.Params.EnableMigration:
-		pol = "migr"
-	case opt.Dynamic:
-		pol = "repl"
-	case opt.RoundRobin:
-		pol = "rr"
-	}
-	return fmt.Sprintf("%s/%s/%s/t%d/m%d/trace%v/rcft%v/tlb%v/ws%v/ad%v/rc%v/dc%v",
-		wl, pol, opt.Config.Name, opt.Params.Trigger, opt.Metric,
-		opt.CollectTrace, opt.ReplicateCodeOnFirstTouch, opt.Config.TrackTLBHolders,
-		opt.Params.MigrateWriteShared, opt.AdaptiveTrigger, opt.ReclaimColdReplicas,
-		opt.Config.DirCopy) + fmt.Sprintf("/nr%v", opt.Params.DisableRemap)
+	return wl + "|" + opt.Fingerprint()
 }
 
-// Run executes (or returns the memoized) full-system simulation.
+// Run executes (or returns the memoized) full-system simulation. It is
+// goroutine-safe: the first caller for a key runs the simulation, any
+// concurrent caller with the same key blocks until that single run
+// finishes and shares its Result.
 func (h *Harness) Run(wl string, opt core.Options) *core.Result {
-	key := runKey(wl, opt)
-	if r, ok := h.runs[key]; ok {
-		return r
-	}
 	opt.Seed = h.Seed
+	key := runKey(wl, opt)
+
+	h.mu.Lock()
+	if e, ok := h.runs[key]; ok {
+		h.mu.Unlock()
+		<-e.done
+		h.memoHits.Add(1)
+		return e.res
+	}
+	e := &runEntry{done: make(chan struct{})}
+	h.runs[key] = e
+	h.mu.Unlock()
+
+	// Release waiters even if core.Run panics (the process is going down,
+	// but blocked goroutines should not obscure the original panic).
+	defer close(e.done)
+	h.executed.Add(1)
 	res, err := core.Run(h.spec(wl), opt)
 	if err != nil {
 		panic(fmt.Sprintf("report: %s: %v", key, err))
 	}
-	h.runs[key] = res
+	e.res = res
 	return res
 }
 
@@ -103,12 +131,19 @@ func (h *Harness) MigRep(wl string) *core.Result {
 
 // Trace returns the workload's miss trace, generated once under first-touch
 // placement (the paper records traces from the unmodified system).
+// Goroutine-safe: concurrent first calls share one trace-collecting run
+// through Run's singleflight.
 func (h *Harness) Trace(wl string) *trace.Trace {
-	if t, ok := h.traces[wl]; ok {
+	h.mu.Lock()
+	t, ok := h.traces[wl]
+	h.mu.Unlock()
+	if ok {
 		return t
 	}
 	res := h.Run(wl, core.Options{CollectTrace: true})
+	h.mu.Lock()
 	h.traces[wl] = res.Trace
+	h.mu.Unlock()
 	return res.Trace
 }
 

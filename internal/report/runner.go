@@ -1,0 +1,95 @@
+package report
+
+import (
+	"sync"
+
+	"ccnuma/internal/trace"
+	"ccnuma/internal/tracesim"
+)
+
+// This file is the experiment layer's worker pool. Every sweep in
+// experiments.go/extensions.go is a set of independent simulations — each
+// builds its own core.System or tracesim table, and the only state shared
+// between them is the harness memo (goroutine-safe, see harness.go) and
+// recorded traces (read-only once built). The pool fans those simulations
+// out across Harness.Workers goroutines while the rendering stays serial
+// and reads results by index, so the emitted report is byte-identical at
+// any worker count.
+//
+// Tasks must not spawn nested collect/forEach calls: the pool is a flat
+// goroutine fan-out (one goroutine per task), and the sweeps flatten their
+// workload x policy grids into a single task list instead of nesting.
+
+// forEach runs f(0..n-1). With Workers <= 1 it runs them in index order on
+// the calling goroutine — exactly the serial loop it replaces; otherwise it
+// runs up to Workers tasks at a time.
+func (h *Harness) forEach(n int, f func(i int)) {
+	w := h.Workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// collect computes out[i] = f(i) through the pool, preserving index order
+// in the result regardless of completion order.
+func collect[T any](h *Harness, n int, f func(i int) T) []T {
+	out := make([]T, n)
+	h.forEach(n, func(i int) { out[i] = f(i) })
+	return out
+}
+
+// warm executes the given simulation thunks through the pool. Experiments
+// whose rendering interleaves runs with formatting call this first so the
+// expensive runs populate the memo concurrently and the subsequent serial
+// rendering only reads cached results.
+func (h *Harness) warm(thunks ...func()) {
+	h.forEach(len(thunks), func(i int) { thunks[i]() })
+}
+
+// simGrid runs one tracesim policy table per workload — the shape shared by
+// Figures 6-9 and the Section-8.4 sweep. Each cell simulates the workload's
+// user (or kernel) trace under one variant produced by vary; the whole
+// workload x variant grid is flattened into one task list so the pool sees
+// every independent simulation at once. Results come back as
+// [workload][variant] in loop order.
+func simGrid(h *Harness, workloads []string, nvar int,
+	sub func(tr *trace.Trace) *trace.Trace,
+	vary func(tr *trace.Trace, cfg tracesim.Config, v int) tracesim.Outcome) [][]tracesim.Outcome {
+	// Build the subtraces first: every variant of a workload shares its
+	// trace, and collecting one is itself a full-system run worth
+	// parallelising.
+	subs := collect(h, len(workloads), func(i int) *trace.Trace {
+		return sub(h.Trace(workloads[i]))
+	})
+	flat := collect(h, len(workloads)*nvar, func(i int) tracesim.Outcome {
+		wl := workloads[i/nvar]
+		return vary(subs[i/nvar], traceCfg(h, wl), i%nvar)
+	})
+	out := make([][]tracesim.Outcome, len(workloads))
+	for i := range workloads {
+		out[i] = flat[i*nvar : (i+1)*nvar]
+	}
+	return out
+}

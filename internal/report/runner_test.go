@@ -1,0 +1,127 @@
+package report
+
+import (
+	"sync"
+	"testing"
+
+	"ccnuma/internal/core"
+	"ccnuma/internal/policy"
+	"ccnuma/internal/sim"
+)
+
+// Regression for the memo-key bug: the old hand-rolled runKey omitted
+// Params.Sharing/Write/Migrate/ResetInterval, so runs differing only in
+// those fields collided and returned the wrong cached Result.
+func TestRunKeyCoversAllPolicyParams(t *testing.T) {
+	base := core.Options{Dynamic: true, Params: policy.Base()}
+	mods := map[string]func(*core.Options){
+		"sharing": func(o *core.Options) { o.Params.Sharing++ },
+		"write":   func(o *core.Options) { o.Params.Write++ },
+		"migrate": func(o *core.Options) { o.Params.Migrate++ },
+		"reset":   func(o *core.Options) { o.Params.ResetInterval += sim.Millisecond },
+	}
+	baseKey := runKey("engineering", base)
+	for name, mutate := range mods {
+		o := base
+		mutate(&o)
+		if runKey("engineering", o) == baseKey {
+			t.Errorf("runKey ignores Params.%s", name)
+		}
+	}
+	if runKey("raytrace", base) == baseKey {
+		t.Error("runKey ignores the workload")
+	}
+}
+
+func TestRunsDifferingOnlyInSharingAreDistinct(t *testing.T) {
+	h := NewHarness(0.1, 5)
+	pa := policy.Base()
+	pb := pa.WithSharingFraction(2) // sharing 64 instead of 32
+	a := h.Run("database", core.Options{Dynamic: true, Params: pa})
+	b := h.Run("database", core.Options{Dynamic: true, Params: pb})
+	if a == b {
+		t.Fatal("memo collision: runs differing only in the sharing threshold shared a Result")
+	}
+	if executed, _ := h.Counters(); executed != 2 {
+		t.Fatalf("executed %d simulations, want 2", executed)
+	}
+}
+
+// The singleflight memo must never double-run a key or tear a result when
+// hammered from many goroutines (run under -race to check the latter).
+func TestSingleflightUnderConcurrency(t *testing.T) {
+	h := NewHarness(0.1, 3)
+	const callers = 24
+	results := make([]*core.Result, callers)
+	traces := make([]interface{}, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			switch i % 3 {
+			case 0:
+				results[i] = h.FT("database")
+			case 1:
+				results[i] = h.MigRep("database")
+			default:
+				traces[i] = h.Trace("database")
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 3; i < callers; i++ {
+		if results[i] != results[i%3] || traces[i] != traces[i%3] {
+			t.Fatalf("caller %d saw a different result than caller %d", i, i%3)
+		}
+	}
+	// Three distinct keys (FT, MigRep, FT+trace), each run exactly once.
+	executed, hits := h.Counters()
+	if executed != 3 {
+		t.Fatalf("executed %d simulations, want 3 (double-run under contention)", executed)
+	}
+	if executed+hits < callers {
+		t.Fatalf("executed %d + hits %d < %d callers", executed, hits, callers)
+	}
+}
+
+func TestForEachCoversAllIndicesInOrder(t *testing.T) {
+	for _, workers := range []int{0, 1, 4, 16} {
+		h := NewHarness(0.1, 1)
+		h.Workers = workers
+		out := collect(h, 100, func(i int) int { return i * i })
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// The rendered report must be byte-identical whatever the worker count:
+// parallelism only reorders when simulations run, never what is rendered.
+func TestReportDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two full harnesses")
+	}
+	serial := NewHarness(0.1, 9)
+	serial.Workers = 1
+	wide := NewHarness(0.1, 9)
+	wide.Workers = 8
+	for _, id := range []string{"T6", "F6", "F9", "S8.4", "X4"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := e.Run(serial), e.Run(wide)
+		if a != b {
+			t.Errorf("%s differs between -j1 and -j8:\n--- j1 ---\n%s\n--- j8 ---\n%s", id, a, b)
+		}
+	}
+	// The parallel harness must not have run anything the serial one didn't.
+	se, _ := serial.Counters()
+	we, _ := wide.Counters()
+	if se != we {
+		t.Errorf("serial executed %d simulations, parallel %d", se, we)
+	}
+}
