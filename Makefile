@@ -1,10 +1,15 @@
 GO ?= go
 
-# Tier-1 verification plus the race detector and a benchmark smoke run.
-# `make ci` is what a CI job should run.
-.PHONY: ci vet build test race bench-smoke bench
+# Tier-1 verification plus formatting, the race detector, and benchmark
+# smoke runs. `make ci` is what a CI job should run.
+.PHONY: ci fmt-check vet build test race bench-smoke obs-bench-smoke bench
 
-ci: vet build race bench-smoke
+ci: fmt-check vet build race bench-smoke obs-bench-smoke
+
+# gofmt -l prints nonconforming files; any output fails the target.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -24,6 +29,11 @@ race:
 # harness still builds and runs end to end.
 bench-smoke:
 	BENCH_SCALE=0.1 $(GO) test -run '^$$' -bench BenchmarkTraceSimThroughput -benchtime 1x .
+
+# The disabled-tracer benchmark doubles as the proof that instrumentation
+# costs one branch when off; one iteration keeps CI honest about it building.
+obs-bench-smoke:
+	$(GO) test -run '^$$' -bench BenchmarkTracerDisabled -benchtime 1x ./internal/obs
 
 # The full paper-regeneration benchmark suite (see bench_test.go).
 bench:

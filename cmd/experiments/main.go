@@ -15,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,12 +28,14 @@ import (
 
 func main() {
 	var (
-		scale = flag.Float64("scale", 1.0, "workload scale factor")
-		seed  = flag.Uint64("seed", 42, "random seed")
-		only  = flag.String("only", "", "comma-separated experiment ids (default all)")
-		out   = flag.String("out", "", "also write the report to this file")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
-		jobs  = flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations per experiment")
+		scale    = flag.Float64("scale", 1.0, "workload scale factor")
+		seed     = flag.Uint64("seed", 42, "random seed")
+		only     = flag.String("only", "", "comma-separated experiment ids (default all)")
+		out      = flag.String("out", "", "also write the report to this file")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations per experiment")
+		progress = flag.Bool("progress", false, "log each simulation's start/finish/memo-hit to stderr")
+		metrics  = flag.String("metrics", "", "write per-run metrics (JSONL) to this file")
 	)
 	flag.Parse()
 
@@ -65,6 +68,13 @@ func main() {
 
 	h := report.NewHarness(*scale, *seed)
 	h.Workers = *jobs
+	if *progress {
+		t0 := time.Now()
+		h.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "[%8s] %s\n",
+				time.Since(t0).Round(time.Millisecond), fmt.Sprintf(format, args...))
+		}
+	}
 	var doc strings.Builder
 	writeOut := func() {
 		if *out == "" || doc.Len() == 0 {
@@ -96,6 +106,26 @@ func main() {
 	executed, hits := h.Counters()
 	fmt.Printf("== %d experiments in %v (-j %d): %d simulations run, %d served from memo\n",
 		len(exps), time.Since(start).Round(time.Millisecond), *jobs, executed, hits)
+
+	if *metrics != "" {
+		f, err := os.Create(*metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		for _, m := range h.Metrics() {
+			if err := enc.Encode(m); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d runs)\n", *metrics, executed)
+	}
 
 	writeOut()
 }

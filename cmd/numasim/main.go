@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -25,25 +26,35 @@ import (
 
 func main() {
 	var (
-		wl       = flag.String("workload", "engineering", "workload: engineering|raytrace|splash|database|pmake")
-		pol      = flag.String("policy", "migrep", "policy: rr|ft|migr|repl|migrep")
-		cfgName  = flag.String("config", "ccnuma", "machine: ccnuma|ccnow|zeronet")
-		scale    = flag.Float64("scale", 1.0, "workload scale factor")
-		seed     = flag.Uint64("seed", 42, "random seed")
-		dur      = flag.Duration("duration", 0, "run length in simulated time (0 = workload default)")
-		trigger  = flag.Uint("trigger", 0, "trigger threshold override (0 = workload default)")
-		metric   = flag.String("metric", "fc", "counter metric: fc|sc|ft|st")
-		track    = flag.Bool("track-tlb", false, "flush only TLBs holding a mapping (ablation)")
-		dircopy  = flag.Bool("dir-copy", false, "use the directory's pipelined page copy (ablation)")
-		verbose  = flag.Bool("v", false, "print per-CPU and contention detail")
-		tracePth = flag.String("trace", "", "write the miss trace to this file")
-		adaptive = flag.Bool("adaptive", false, "adaptive trigger threshold (extension)")
-		reclaim  = flag.Bool("reclaim", false, "reclaim cold replicas each interval (extension)")
-		wshared  = flag.Bool("mig-wshared", false, "migrate write-shared pages (extension)")
-		noremap  = flag.Bool("no-remap", false, "disable the pte remap action (paper behaviour)")
-		jsonOut  = flag.Bool("json", false, "emit the result as JSON instead of text")
+		wl        = flag.String("workload", "engineering", "workload: engineering|raytrace|splash|database|pmake")
+		pol       = flag.String("policy", "migrep", "policy: rr|ft|migr|repl|migrep")
+		cfgName   = flag.String("config", "ccnuma", "machine: ccnuma|ccnow|zeronet")
+		scale     = flag.Float64("scale", 1.0, "workload scale factor")
+		seed      = flag.Uint64("seed", 42, "random seed")
+		dur       = flag.Duration("duration", 0, "run length in simulated time (0 = workload default)")
+		trigger   = flag.Uint("trigger", 0, "trigger threshold override (0 = workload default)")
+		metric    = flag.String("metric", "fc", "counter metric: fc|sc|ft|st")
+		track     = flag.Bool("track-tlb", false, "flush only TLBs holding a mapping (ablation)")
+		dircopy   = flag.Bool("dir-copy", false, "use the directory's pipelined page copy (ablation)")
+		verbose   = flag.Bool("v", false, "print per-CPU and contention detail")
+		missPth   = flag.String("misstrace", "", "write the miss trace to this file")
+		oldMiss   = flag.String("trace", "", "deprecated alias for -misstrace")
+		eventsPth = flag.String("events", "", "write the observability event trace as Chrome trace JSON (load in Perfetto)")
+		jsonlPth  = flag.String("events-jsonl", "", "write the observability event trace as JSONL")
+		seriesPth = flag.String("timeseries", "", "write the sampled time-series as CSV")
+		interval  = flag.Duration("sample-interval", time.Millisecond, "time-series sampling interval (simulated time)")
+		debug     = flag.Bool("debug-checks", false, "validate accounting invariants on every sample")
+		adaptive  = flag.Bool("adaptive", false, "adaptive trigger threshold (extension)")
+		reclaim   = flag.Bool("reclaim", false, "reclaim cold replicas each interval (extension)")
+		wshared   = flag.Bool("mig-wshared", false, "migrate write-shared pages (extension)")
+		noremap   = flag.Bool("no-remap", false, "disable the pte remap action (paper behaviour)")
+		jsonOut   = flag.Bool("json", false, "emit the result as JSON instead of text")
 	)
 	flag.Parse()
+	if *missPth == "" && *oldMiss != "" {
+		fmt.Fprintln(os.Stderr, "numasim: -trace is deprecated; use -misstrace")
+		*missPth = *oldMiss
+	}
 
 	build, err := workload.ByName(*wl)
 	if err != nil {
@@ -66,10 +77,18 @@ func main() {
 	cfg.DirCopy = *dircopy
 
 	opt := core.Options{
-		Config:       cfg,
-		Seed:         *seed,
-		Duration:     sim.Time(dur.Nanoseconds()),
-		CollectTrace: *tracePth != "",
+		Config:        cfg,
+		Seed:          *seed,
+		Duration:      sim.Time(dur.Nanoseconds()),
+		CollectTrace:  *missPth != "",
+		CollectEvents: *eventsPth != "" || *jsonlPth != "",
+		DebugChecks:   *debug,
+	}
+	if *seriesPth != "" {
+		if *interval <= 0 {
+			fatal(fmt.Errorf("-sample-interval must be positive"))
+		}
+		opt.SampleInterval = sim.Time(interval.Nanoseconds())
 	}
 	switch *metric {
 	case "fc":
@@ -121,18 +140,35 @@ func main() {
 	printResult(res, *verbose)
 	fmt.Printf("\n(simulated %v in %v wall, %d events, %d steps)\n", res.Elapsed, wall.Round(time.Millisecond), res.Events, res.Steps)
 
-	if *tracePth != "" && res.Trace != nil {
-		f, err := os.Create(*tracePth)
-		if err != nil {
-			fatal(err)
-		}
-		if err := res.Trace.Write(f); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("trace: %d records -> %s\n", res.Trace.Len(), *tracePth)
+	if *missPth != "" && res.Trace != nil {
+		writeFile(*missPth, res.Trace.Write)
+		fmt.Printf("miss trace: %d records -> %s\n", res.Trace.Len(), *missPth)
+	}
+	if *eventsPth != "" && res.ObsEvents != nil {
+		writeFile(*eventsPth, res.ObsEvents.WriteChromeTrace)
+		fmt.Printf("events: %d -> %s (chrome trace; load in Perfetto)\n", res.ObsEvents.Len(), *eventsPth)
+	}
+	if *jsonlPth != "" && res.ObsEvents != nil {
+		writeFile(*jsonlPth, res.ObsEvents.WriteJSONL)
+		fmt.Printf("events: %d -> %s (jsonl)\n", res.ObsEvents.Len(), *jsonlPth)
+	}
+	if *seriesPth != "" && res.Series != nil {
+		writeFile(*seriesPth, res.Series.WriteCSV)
+		fmt.Printf("timeseries: %d samples -> %s\n", res.Series.Len(), *seriesPth)
+	}
+}
+
+// writeFile creates path and streams write into it, failing hard on error.
+func writeFile(path string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := write(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
 	}
 }
 

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+
+	"ccnuma/internal/mem"
+	"ccnuma/internal/obs"
+	"ccnuma/internal/sim"
+)
+
+// wireObservability builds the event tracer and time-series sampler the
+// options asked for and hands the tracer to every emitting layer (VM,
+// directory counters, pager). Called once from NewSystem, after the kernel
+// components exist.
+func (s *System) wireObservability() {
+	if s.opt.CollectEvents {
+		s.events = obs.NewTracer(func() sim.Time { return s.eng.Now() })
+		s.vmm.Obs = s.events
+		s.counters.Obs = s.events
+		if s.pg != nil {
+			s.pg.Obs = s.events
+		}
+	}
+	if s.opt.SampleInterval > 0 {
+		s.sampler = obs.NewSampler(s.opt.SampleInterval, s.cfg.TotalCPUs(), s.cfg.Nodes)
+		s.sampler.Debug = s.opt.DebugChecks
+		s.prevCPU = make([]obs.CPUSample, s.cfg.TotalCPUs())
+	}
+}
+
+// startSampler schedules the periodic sampling event. Called from Run so the
+// first tick lands one interval into the run.
+func (s *System) startSampler() {
+	if s.sampler == nil {
+		return
+	}
+	s.eng.Every(s.sampler.Interval, s.takeSample,
+		func() bool { return s.finished() || s.eng.Now() >= s.deadline })
+}
+
+// takeSample records one time-series point: engine gauges, per-CPU breakdown
+// deltas since the previous sample, per-node frame occupancy, and directory
+// counter deltas. In debug mode it first validates every CPU ledger's
+// accounting invariants.
+func (s *System) takeSample(now sim.Time) {
+	sm := obs.Sample{
+		At:      now,
+		Fired:   s.eng.Fired(),
+		Pending: s.eng.Pending(),
+		CPU:     make([]obs.CPUSample, len(s.cpus)),
+		Node:    make([]obs.NodeSample, s.cfg.Nodes),
+	}
+	for i, c := range s.cpus {
+		if s.sampler.Debug {
+			if err := c.bd.CheckInvariants(); err != nil {
+				panic(fmt.Sprintf("core: cpu%d ledger at %v: %v", i, now, err))
+			}
+		}
+		cur := obs.CPUSample{
+			Busy:  c.bd.NonIdle(),
+			Idle:  c.bd.Idle,
+			Pager: c.bd.Pager.Total(),
+			Steps: c.steps,
+		}
+		sm.CPU[i] = cur.Sub(s.prevCPU[i])
+		s.prevCPU[i] = cur
+	}
+	for n := 0; n < s.cfg.Nodes; n++ {
+		free, base, replica := s.allocs.UsageOn(mem.NodeID(n))
+		sm.Node[n] = obs.NodeSample{Free: free, Base: base, Replica: replica}
+	}
+	cs := s.counters.Stats()
+	cur := obs.CounterSample{Recorded: cs.Recorded, Counted: cs.Counted, Hot: cs.Hot, Resets: cs.Resets}
+	sm.Counters = cur.Sub(s.prevCtr)
+	s.prevCtr = cur
+	s.sampler.Add(sm)
+}

@@ -13,6 +13,7 @@ import (
 	"ccnuma/internal/kernel/alloc"
 	"ccnuma/internal/kernel/klock"
 	"ccnuma/internal/kernel/vm"
+	"ccnuma/internal/obs"
 	"ccnuma/internal/policy"
 	"ccnuma/internal/sim"
 	"ccnuma/internal/stats"
@@ -87,6 +88,17 @@ type Options struct {
 	Duration sim.Time
 	// CollectTrace records all cache and TLB misses (Section 8 input).
 	CollectTrace bool
+	// CollectEvents records typed observability events (migrations,
+	// replications, collapses, TLB shootdowns, hot-page interrupts, policy
+	// decisions, counter resets) into Result.ObsEvents.
+	CollectEvents bool
+	// SampleInterval, when positive, runs the periodic time-series sampler:
+	// per-CPU breakdown deltas, per-node frame occupancy, counter and engine
+	// gauges every interval of virtual time, into Result.Series.
+	SampleInterval sim.Time
+	// DebugChecks makes the sampler validate accounting invariants
+	// (stats.Breakdown.CheckInvariants) on every sample.
+	DebugChecks bool
 	// Quantum is the scheduling time slice (default 5 ms).
 	Quantum sim.Time
 	// ReplicateCodeOnFirstTouch enables the space-overhead ablation of
@@ -190,6 +202,12 @@ type Result struct {
 	AvgRemoteLatency sim.Time
 	// Trace holds the recorded misses when Options.CollectTrace was set.
 	Trace *trace.Trace
+	// ObsEvents holds the typed event trace when Options.CollectEvents was
+	// set (export with WriteJSONL / WriteChromeTrace).
+	ObsEvents *obs.Tracer
+	// Series holds the sampled time-series when Options.SampleInterval was
+	// positive (export with WriteCSV / WriteJSONL).
+	Series *obs.Sampler
 	// Events is the number of simulator events dispatched.
 	Events uint64
 	// Steps is the number of memory references executed (work completed).

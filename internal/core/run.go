@@ -271,6 +271,7 @@ func (s *System) Run() (*Result, error) {
 			aff.Rebalance()
 		}, func() bool { return s.finished() || s.eng.Now() >= s.deadline })
 	}
+	s.startSampler()
 	for _, c := range s.cpus {
 		c := c
 		s.eng.At(0, func(now sim.Time) { s.step(c, now) })
@@ -279,6 +280,7 @@ func (s *System) Run() (*Result, error) {
 	if s.tracer != nil {
 		s.tracer.Sort()
 	}
+	s.events.Sort()
 	elapsed := s.completedAt
 	if elapsed == 0 {
 		elapsed = s.deadline // hit the cap without completing
@@ -299,6 +301,8 @@ func (s *System) Run() (*Result, error) {
 		LocalMissFraction: s.mems.LocalFraction(),
 		AvgRemoteLatency:  s.mems.AvgRemoteLatency(),
 		Trace:             s.tracer,
+		ObsEvents:         s.events,
+		Series:            s.sampler,
 		Events:            s.eng.Fired(),
 	}
 	for _, c := range s.cpus {

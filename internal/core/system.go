@@ -11,6 +11,7 @@ import (
 	"ccnuma/internal/kernel/sched"
 	"ccnuma/internal/kernel/vm"
 	"ccnuma/internal/mem"
+	"ccnuma/internal/obs"
 	"ccnuma/internal/sim"
 	"ccnuma/internal/stats"
 	"ccnuma/internal/tlb"
@@ -77,6 +78,14 @@ type System struct {
 	tracer   *trace.Trace
 	deadline sim.Time // hard cap; runs normally end at workload completion
 	seedGen  *sim.Rand
+
+	// Observability (nil when disabled): the typed event tracer wired
+	// through vm/pager/directory, and the periodic time-series sampler with
+	// its previous-snapshot state for computing per-interval deltas.
+	events  *obs.Tracer
+	sampler *obs.Sampler
+	prevCPU []obs.CPUSample
+	prevCtr obs.CounterSample
 
 	live          int
 	pendingSpawns int
@@ -167,6 +176,7 @@ func NewSystem(spec *workload.Spec, opt Options) (*System, error) {
 	if opt.CollectTrace {
 		s.tracer = &trace.Trace{}
 	}
+	s.wireObservability()
 
 	s.wireKernelRegions()
 	return s, nil

@@ -7,6 +7,7 @@ package directory
 
 import (
 	"ccnuma/internal/mem"
+	"ccnuma/internal/obs"
 )
 
 // HotRef identifies a page whose miss counter crossed the trigger threshold,
@@ -44,6 +45,11 @@ type Counters struct {
 	pending   []HotRef
 	inPending []bool // per page: already queued for the pager
 	onBatch   BatchFunc
+
+	// Obs, when enabled, receives a CounterReset event at every reset
+	// boundary, stamped with the trigger threshold then in force (it changes
+	// under the adaptive-trigger extension).
+	Obs *obs.Tracer
 
 	// Statistics.
 	recorded uint64 // misses offered
@@ -158,6 +164,12 @@ func (c *Counters) Reset() {
 		c.write[i] = 0
 	}
 	c.resets++
+	if c.Obs.On() {
+		e := obs.NewEvent(obs.KindCounterReset)
+		e.Trigger = c.trigger
+		e.N = int(c.resets)
+		c.Obs.EmitNow(e)
+	}
 }
 
 // Miss returns the current counter for (page, cpu's group).

@@ -140,6 +140,25 @@ func (a *Allocator) Free(f mem.PFN) {
 // Allocated reports whether frame f is currently allocated.
 func (a *Allocator) Allocated(f mem.PFN) bool { return a.allocated[f] }
 
+// UsageOn returns one node's memory picture: free frames, and allocated
+// frames split into master copies and replicas (the sampler's per-node
+// time-series).
+func (a *Allocator) UsageOn(n mem.NodeID) (free, base, replica int) {
+	free = len(a.free[n])
+	lo, hi := int(n)*a.perNode, (int(n)+1)*a.perNode
+	for f := lo; f < hi; f++ {
+		if !a.allocated[f] {
+			continue
+		}
+		if a.purpose[f] == Replica {
+			replica++
+		} else {
+			base++
+		}
+	}
+	return free, base, replica
+}
+
 // Pressure reports whether node n is under memory pressure: fewer than
 // lowWater frames free. The policy stops replicating onto pressured nodes.
 func (a *Allocator) Pressure(n mem.NodeID, lowWater int) bool {

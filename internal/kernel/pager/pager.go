@@ -16,6 +16,7 @@ import (
 	"ccnuma/internal/kernel/klock"
 	"ccnuma/internal/kernel/vm"
 	"ccnuma/internal/mem"
+	"ccnuma/internal/obs"
 	"ccnuma/internal/policy"
 	"ccnuma/internal/sim"
 	"ccnuma/internal/stats"
@@ -54,6 +55,12 @@ type Pager struct {
 	// bounding the replication space overhead (Section 7.2.3 reports the
 	// kernel "preferentially reclaiming replicated pages").
 	ReclaimCold bool
+
+	// Obs, when enabled, receives the pager's typed events: hot-page
+	// interrupts, policy decisions (with the counters that drove them), TLB
+	// shootdowns, and cold-replica reclamation sweeps. Page-placement state
+	// changes themselves are emitted by the VM.
+	Obs *obs.Tracer
 
 	// Actions is the Table-4 accounting.
 	Actions policy.ActionStats
@@ -110,6 +117,17 @@ func (pg *Pager) HandleBatch(now sim.Time, cpu mem.CPUID, batch []directory.HotR
 	bd.Pager.Add(stats.FnIntrProc, k.InterruptEntry)
 	intrShare := k.InterruptEntry / sim.Time(len(batch))
 
+	if pg.Obs.On() {
+		e := obs.NewEvent(obs.KindHotPageInterrupt)
+		e.At = now
+		e.CPU = int(cpu)
+		e.Node = int(pg.cfg.NodeOf(cpu))
+		e.Trigger = pg.params.Trigger
+		e.Sharing = pg.params.Sharing
+		e.N = len(batch)
+		pg.Obs.Emit(e)
+	}
+
 	ops := make([]pendingOp, 0, len(batch))
 	var flushPages []mem.GPage
 
@@ -124,6 +142,12 @@ func (pg *Pager) HandleBatch(now sim.Time, cpu mem.CPUID, batch []directory.HotR
 		op.latency += dt
 
 		op.decision = pg.decide(h)
+		if pg.Obs.On() {
+			// Observe before ClearPage wipes the counters the branch read.
+			policy.ObserveDecision(pg.Obs, t, int(h.CPU), int(pg.cfg.NodeOf(h.CPU)),
+				int64(h.Page), pg.params, pg.counters.MissRow(h.Page),
+				pg.counters.Writes(h.Page), pg.counters.GroupOf(h.CPU), op.decision)
+		}
 		switch op.decision.Action {
 		case policy.DoNothing:
 			pg.counters.ClearPage(h.Page)
@@ -208,6 +232,7 @@ func (pg *Pager) HandleBatch(now sim.Time, cpu mem.CPUID, batch []directory.HotR
 			fw = pg.Flush(t, cpu, flushPages)
 		}
 		t += fw
+		pg.observeShootdown(t, cpu, len(flushPages), fw)
 		bd.Pager.Add(stats.FnTLBFlush, fw)
 		if len(ops) > 0 {
 			share := fw / sim.Time(len(ops))
@@ -267,6 +292,21 @@ func (pg *Pager) HandleBatch(now sim.Time, cpu mem.CPUID, batch []directory.HotR
 
 	pg.intervalOverhead += t - start
 	return t - start
+}
+
+// observeShootdown emits the TLBShootdown event: n pages flushed, with the
+// wait the initiating CPU paid.
+func (pg *Pager) observeShootdown(at sim.Time, cpu mem.CPUID, n int, wait sim.Time) {
+	if !pg.Obs.On() {
+		return
+	}
+	e := obs.NewEvent(obs.KindTLBShootdown)
+	e.At = at
+	e.CPU = int(cpu)
+	e.Node = int(pg.cfg.NodeOf(cpu))
+	e.N = n
+	e.Dur = wait
+	pg.Obs.Emit(e)
 }
 
 // targetNodes lists the destination nodes for an action: the triggering
@@ -373,6 +413,7 @@ func (pg *Pager) CollapseWrite(now sim.Time, cpu mem.CPUID, page mem.GPage, bd *
 		fw = pg.Flush(t, cpu, []mem.GPage{page})
 	}
 	t += fw
+	pg.observeShootdown(t, cpu, 1, fw)
 	bd.Pager.Add(stats.FnTLBFlush, fw)
 
 	pg.vm.Page(page).TransitUntil = t
@@ -444,6 +485,15 @@ func (pg *Pager) ReclaimColdReplicas(now sim.Time, cpu mem.CPUID, bd *stats.Brea
 	if len(pages) == 0 {
 		return 0
 	}
+	if pg.Obs.On() {
+		e := obs.NewEvent(obs.KindReplicaReclaimed)
+		e.At = now
+		e.CPU = int(cpu)
+		e.Node = int(pg.cfg.NodeOf(cpu))
+		e.Sharing = pg.params.Sharing
+		e.N = len(pages)
+		pg.Obs.Emit(e)
+	}
 	for _, p := range pages {
 		wait := pg.locks.PageLock(uint32(p)).Acquire(t, k.PageLockHold)
 		dt := wait + k.CollapseBase
@@ -457,6 +507,7 @@ func (pg *Pager) ReclaimColdReplicas(now sim.Time, cpu mem.CPUID, bd *stats.Brea
 		fw = pg.Flush(t, cpu, pages)
 	}
 	t += fw
+	pg.observeShootdown(t, cpu, len(pages), fw)
 	bd.Pager.Add(stats.FnTLBFlush, fw)
 	pg.intervalOverhead += t - now
 	return t - now

@@ -21,6 +21,7 @@ import (
 	"ccnuma/internal/cache"
 	"ccnuma/internal/kernel/alloc"
 	"ccnuma/internal/mem"
+	"ccnuma/internal/obs"
 	"ccnuma/internal/sim"
 )
 
@@ -91,6 +92,12 @@ type VM struct {
 	// Locate reports the node a process is currently running on; replication
 	// uses it to point each pte at the nearest copy (pager step 8).
 	Locate func(mem.ProcID) mem.NodeID
+	// Obs, when enabled, receives a typed event for every page-placement
+	// state change (migration, replication, collapse, reclaim), whatever
+	// path caused it — pager ops, write traps, pressure reclaim, or the
+	// first-touch code-replication ablation. The VM is the single point all
+	// those paths converge on, so instrumenting it here catches them all.
+	Obs *obs.Tracer
 
 	pages []PageInfo
 	ptes  [][]PTE // [proc][gpage]; nil for free proc slots
@@ -280,6 +287,14 @@ func (v *VM) Migrate(p mem.GPage, newF mem.PFN) error {
 	}
 	v.val.BumpPage(p)
 	v.migrates++
+	if v.Obs.On() {
+		e := obs.NewEvent(obs.KindPageMigrated)
+		e.Page = int64(p)
+		e.From = int(v.alloc.NodeOf(old))
+		e.To = int(v.alloc.NodeOf(newF))
+		e.Node = e.To
+		v.Obs.EmitNow(e)
+	}
 	return nil
 }
 
@@ -307,6 +322,15 @@ func (v *VM) Replicate(p mem.GPage, newF mem.PFN) error {
 		pt.PFN = v.nearest(pi, v.Locate(m))
 	}
 	v.replics++
+	if v.Obs.On() {
+		e := obs.NewEvent(obs.KindPageReplicated)
+		e.Page = int64(p)
+		e.From = int(v.alloc.NodeOf(pi.Master))
+		e.To = int(node)
+		e.Node = e.To
+		e.N = len(pi.Replicas)
+		v.Obs.EmitNow(e)
+	}
 	return nil
 }
 
@@ -346,6 +370,13 @@ func (v *VM) Collapse(p mem.GPage, keepNode mem.NodeID) int {
 	}
 	v.val.BumpPage(p)
 	v.collapses++
+	if v.Obs.On() {
+		e := obs.NewEvent(obs.KindReplicaCollapsed)
+		e.Page = int64(p)
+		e.Node = int(v.alloc.NodeOf(keep))
+		e.N = freed
+		v.Obs.EmitNow(e)
+	}
 	return freed
 }
 
@@ -378,6 +409,13 @@ func (v *VM) ReclaimReplicaOn(n mem.NodeID) bool {
 			}
 			v.alloc.Free(r.PFN)
 			v.val.BumpPage(mem.GPage(p))
+			if v.Obs.On() {
+				e := obs.NewEvent(obs.KindReplicaReclaimed)
+				e.Page = int64(p)
+				e.Node = int(n)
+				e.N = 1
+				v.Obs.EmitNow(e)
+			}
 			return true
 		}
 	}

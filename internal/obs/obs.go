@@ -1,0 +1,210 @@
+// Package obs is the simulation's observability layer: a typed event tracer
+// and a periodic time-series sampler, both zero-overhead when disabled.
+//
+// The tracer answers *when and why* pages move — every migration,
+// replication, collapse, TLB shootdown, and Figure-1 policy decision (with
+// the counter values and thresholds that drove the branch taken) becomes a
+// timestamped event, exportable as JSONL or as Chrome trace-event JSON that
+// Perfetto loads directly. The sampler answers *how the machine trends* —
+// per-CPU busy/idle/pager deltas, per-node frame occupancy and replica
+// counts, and directory-counter activity at a fixed virtual-time interval,
+// exportable as CSV or JSONL.
+//
+// Both are driven by the deterministic event engine, so for a fixed seed the
+// exported bytes are identical run to run. A nil *Tracer is the disabled
+// state: call sites guard emissions with On(), which costs one branch
+// (proven by BenchmarkTracerDisabled).
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+
+	"ccnuma/internal/sim"
+)
+
+// Kind is the type of an observability event.
+type Kind uint8
+
+const (
+	// KindPageMigrated: a page's master copy moved between nodes.
+	KindPageMigrated Kind = iota
+	// KindPageReplicated: a copy of a page was created on a new node.
+	KindPageReplicated
+	// KindReplicaCollapsed: a page's replicas were collapsed to one copy.
+	KindReplicaCollapsed
+	// KindTLBShootdown: a TLB flush covering one or more pages.
+	KindTLBShootdown
+	// KindHotPageInterrupt: the pager interrupt servicing a hot-page batch.
+	KindHotPageInterrupt
+	// KindPolicyDecision: one Figure-1 decision-tree evaluation.
+	KindPolicyDecision
+	// KindCounterReset: the periodic directory-counter reset.
+	KindCounterReset
+	// KindReplicaReclaimed: replicas reclaimed outside the write-trap path
+	// (memory pressure or the cold-replica sweep).
+	KindReplicaReclaimed
+	kindCount
+)
+
+var kindNames = [...]string{
+	KindPageMigrated:     "page-migrated",
+	KindPageReplicated:   "page-replicated",
+	KindReplicaCollapsed: "replica-collapsed",
+	KindTLBShootdown:     "tlb-shootdown",
+	KindHotPageInterrupt: "hot-page-interrupt",
+	KindPolicyDecision:   "policy-decision",
+	KindCounterReset:     "counter-reset",
+	KindReplicaReclaimed: "replica-reclaimed",
+}
+
+// String names the kind as it appears in exports.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// MarshalJSON renders the kind as its name.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	return json.Marshal(k.String())
+}
+
+// Event is one timestamped observability record. Fields that do not apply to
+// a kind hold the NewEvent sentinels (-1 for ids, zero elsewhere), so every
+// export line has the same shape.
+type Event struct {
+	// At is the virtual time of the event.
+	At sim.Time `json:"at"`
+	// Kind is the event type.
+	Kind Kind `json:"kind"`
+	// CPU is the processor involved (-1 when not CPU-specific).
+	CPU int `json:"cpu"`
+	// Node is the node the event acts on (-1 when machine-wide).
+	Node int `json:"node"`
+	// Page is the logical page involved (-1 when not page-specific).
+	Page int64 `json:"page"`
+	// From and To are source/destination nodes for copies that move.
+	From int `json:"from"`
+	To   int `json:"to"`
+	// Action and Reason describe a policy decision's branch.
+	Action string `json:"action,omitempty"`
+	Reason string `json:"reason,omitempty"`
+	// Miss is the triggering CPU's miss counter; MissOther the largest other
+	// counter; Writes the page's write counter (policy decisions).
+	Miss      uint16 `json:"miss"`
+	MissOther uint16 `json:"miss_other"`
+	Writes    uint16 `json:"writes"`
+	// Trigger and Sharing are the thresholds in force when the event fired.
+	Trigger uint16 `json:"trigger"`
+	Sharing uint16 `json:"sharing"`
+	// N counts the event's objects: batch size, pages flushed, frames freed.
+	N int `json:"n"`
+	// Dur is the simulated time the operation consumed (0 for instants).
+	Dur sim.Time `json:"dur"`
+}
+
+// NewEvent returns an event of the given kind with id fields set to the
+// not-applicable sentinel.
+func NewEvent(k Kind) Event {
+	return Event{Kind: k, CPU: -1, Node: -1, Page: -1, From: -1, To: -1}
+}
+
+// Tracer buffers typed events in memory. The nil *Tracer is the disabled
+// tracer: On() reports false and Emit is a no-op, so instrumented code pays
+// one branch and nothing else.
+type Tracer struct {
+	// Clock supplies the current virtual time for emitters that do not track
+	// it themselves (EmitNow). Optional.
+	Clock func() sim.Time
+
+	events []Event
+}
+
+// NewTracer builds an enabled tracer. clock may be nil when every emitter
+// stamps its own events.
+func NewTracer(clock func() sim.Time) *Tracer {
+	return &Tracer{Clock: clock}
+}
+
+// On reports whether the tracer is collecting. Safe on nil.
+func (t *Tracer) On() bool { return t != nil }
+
+// Emit records an event. No-op on nil.
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, e)
+}
+
+// EmitNow records an event stamped with the tracer's clock. No-op on nil.
+func (t *Tracer) EmitNow(e Event) {
+	if t == nil {
+		return
+	}
+	if t.Clock != nil {
+		e.At = t.Clock()
+	}
+	t.events = append(t.events, e)
+}
+
+// Len returns the number of buffered events. Safe on nil.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Reset drops all buffered events.
+func (t *Tracer) Reset() { t.events = t.events[:0] }
+
+// Sort orders the events by time (stable: equal-time events keep emission
+// order). The pager advances a local clock past the engine's, so events are
+// appended only approximately in time order; exports call this first.
+func (t *Tracer) Sort() {
+	if t == nil {
+		return
+	}
+	sort.SliceStable(t.events, func(i, j int) bool {
+		return t.events[i].At < t.events[j].At
+	})
+}
+
+// Events returns the buffered events in their current order. The slice is
+// shared; do not mutate.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// CountKind returns how many buffered events have the given kind.
+func (t *Tracer) CountKind(k Kind) int {
+	n := 0
+	for _, e := range t.Events() {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteJSONL writes one JSON object per event, in time order. The output is
+// byte-deterministic for a deterministic event sequence.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	t.Sort()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range t.Events() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

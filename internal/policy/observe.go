@@ -1,0 +1,39 @@
+package policy
+
+import (
+	"ccnuma/internal/obs"
+	"ccnuma/internal/sim"
+)
+
+// ObserveDecision emits the PolicyDecision event for one Figure-1
+// decision-tree evaluation: the branch taken (action + reason) together with
+// the counter values and thresholds that drove it — the triggering group's
+// miss counter, the largest other group's counter (the sharing test's input),
+// the page's write counter, and the trigger/sharing thresholds in force.
+// missRow and writes must be read before the pager clears the page's
+// counters. No-op when the tracer is disabled.
+func ObserveDecision(tr *obs.Tracer, at sim.Time, cpu, node int, page int64,
+	p Params, missRow []uint16, writes uint16, hot int, d Decision) {
+	if !tr.On() {
+		return
+	}
+	e := obs.NewEvent(obs.KindPolicyDecision)
+	e.At = at
+	e.CPU = cpu
+	e.Node = node
+	e.Page = page
+	e.Action = d.Action.String()
+	e.Reason = d.Reason.String()
+	if hot >= 0 && hot < len(missRow) {
+		e.Miss = missRow[hot]
+	}
+	for i, v := range missRow {
+		if i != hot && v > e.MissOther {
+			e.MissOther = v
+		}
+	}
+	e.Writes = writes
+	e.Trigger = p.Trigger
+	e.Sharing = p.Sharing
+	tr.Emit(e)
+}

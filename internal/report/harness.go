@@ -8,10 +8,12 @@ package report
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ccnuma/internal/core"
 	"ccnuma/internal/policy"
@@ -35,10 +37,16 @@ type Harness struct {
 	// Workers bounds how many simulations the sweep helpers (runner.go) run
 	// concurrently; 0 or 1 runs every sweep serially in its loop order.
 	Workers int
+	// Logf, when set, receives progress lines: each simulation's start and
+	// finish (with wall-clock timing) and each memo hit. Called from worker
+	// goroutines; the sink must be safe for concurrent use (fmt.Fprintf to
+	// one *os.File is).
+	Logf func(format string, args ...any)
 
-	mu     sync.Mutex
-	runs   map[string]*runEntry
-	traces map[string]*trace.Trace
+	mu      sync.Mutex
+	runs    map[string]*runEntry
+	traces  map[string]*trace.Trace
+	metrics []RunMetric
 
 	executed atomic.Uint64 // simulations actually run
 	memoHits atomic.Uint64 // calls served by the memo (or a shared in-flight run)
@@ -68,6 +76,49 @@ func NewHarness(scale float64, seed uint64) *Harness {
 // Run/Trace calls were answered from the memo cache instead.
 func (h *Harness) Counters() (executed, memoHits uint64) {
 	return h.executed.Load(), h.memoHits.Load()
+}
+
+// RunMetric summarises one executed simulation for the harness's per-run
+// metrics dump.
+type RunMetric struct {
+	// ID is the FNV-1a hash of the memo key, matching the id in Logf lines.
+	ID       uint64        `json:"id"`
+	Workload string        `json:"workload"`
+	Policy   string        `json:"policy"`
+	Elapsed  sim.Time      `json:"elapsed_ns"`
+	NonIdle  sim.Time      `json:"nonidle_ns"`
+	Steps    uint64        `json:"steps"`
+	Events   uint64        `json:"events"`
+	Wall     time.Duration `json:"wall_ns"`
+}
+
+// Metrics returns one RunMetric per executed simulation, sorted by workload
+// then key hash — a deterministic order regardless of worker interleaving.
+func (h *Harness) Metrics() []RunMetric {
+	h.mu.Lock()
+	out := make([]RunMetric, len(h.metrics))
+	copy(out, h.metrics)
+	h.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Workload != out[j].Workload {
+			return out[i].Workload < out[j].Workload
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+func (h *Harness) logf(format string, args ...any) {
+	if h.Logf != nil {
+		h.Logf(format, args...)
+	}
+}
+
+// keyID hashes a memo key to the short id used in logs and metrics.
+func keyID(key string) uint64 {
+	f := fnv.New64a()
+	f.Write([]byte(key))
+	return f.Sum64()
 }
 
 // Spec returns the (fresh) workload spec. Specs hold generator state, so a
@@ -101,6 +152,7 @@ func (h *Harness) Run(wl string, opt core.Options) *core.Result {
 		h.mu.Unlock()
 		<-e.done
 		h.memoHits.Add(1)
+		h.logf("memo  %s id=%016x", wl, keyID(key))
 		return e.res
 	}
 	e := &runEntry{done: make(chan struct{})}
@@ -111,10 +163,27 @@ func (h *Harness) Run(wl string, opt core.Options) *core.Result {
 	// but blocked goroutines should not obscure the original panic).
 	defer close(e.done)
 	h.executed.Add(1)
+	h.logf("start %s id=%016x", wl, keyID(key))
+	t0 := time.Now()
 	res, err := core.Run(h.spec(wl), opt)
 	if err != nil {
 		panic(fmt.Sprintf("report: %s: %v", key, err))
 	}
+	wall := time.Since(t0)
+	h.logf("done  %s id=%016x policy=%s simulated=%v wall=%v",
+		wl, keyID(key), res.Policy, res.Elapsed, wall.Round(time.Millisecond))
+	h.mu.Lock()
+	h.metrics = append(h.metrics, RunMetric{
+		ID:       keyID(key),
+		Workload: res.Workload,
+		Policy:   res.Policy,
+		Elapsed:  res.Elapsed,
+		NonIdle:  res.Agg.NonIdle(),
+		Steps:    res.Steps,
+		Events:   res.Events,
+		Wall:     wall,
+	})
+	h.mu.Unlock()
 	e.res = res
 	return res
 }

@@ -1,0 +1,50 @@
+package report
+
+import (
+	"bytes"
+	"testing"
+
+	"ccnuma/internal/core"
+	"ccnuma/internal/policy"
+	"ccnuma/internal/sim"
+)
+
+// The observability exports must be byte-identical whatever the worker
+// count, mirroring TestReportDeterministicAcrossWorkers: parallelism may
+// reorder when simulations run, never what each simulation records.
+func TestEventExportsDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two sets of instrumented simulations")
+	}
+	variants := []core.Options{
+		{Dynamic: true, CollectEvents: true, SampleInterval: sim.Millisecond},
+		{Dynamic: true, CollectEvents: true, SampleInterval: sim.Millisecond,
+			Params: policy.Base().WithSharingFraction(2)},
+		{CollectEvents: true, SampleInterval: sim.Millisecond, RoundRobin: true},
+	}
+	export := func(workers int) []string {
+		h := NewHarness(0.1, 9)
+		h.Workers = workers
+		return collect(h, len(variants), func(i int) string {
+			res := h.Run("database", variants[i])
+			var ev, ser bytes.Buffer
+			if err := res.ObsEvents.WriteJSONL(&ev); err != nil {
+				t.Error(err)
+			}
+			if err := res.Series.WriteCSV(&ser); err != nil {
+				t.Error(err)
+			}
+			return ev.String() + "\n---\n" + ser.String()
+		})
+	}
+	serial := export(1)
+	wide := export(8)
+	for i := range variants {
+		if serial[i] == "" || serial[i] == "\n---\n" {
+			t.Fatalf("variant %d exported nothing", i)
+		}
+		if serial[i] != wide[i] {
+			t.Errorf("variant %d: event/series bytes differ between -j1 and -j8", i)
+		}
+	}
+}

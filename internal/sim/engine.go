@@ -83,13 +83,14 @@ func (e *Engine) Step() bool {
 }
 
 // RunUntil dispatches events until the queue is empty or the next event is
-// after deadline. The clock ends at the time of the last dispatched event
-// (or at deadline, whichever is later, if any event remained pending).
+// after deadline, then advances the clock to deadline. The clock always ends
+// at max(deadline, last dispatched event) — even when the queue drains early
+// — so wall-clock-style readings of Now after a run are well defined.
 func (e *Engine) RunUntil(deadline Time) {
 	for len(e.heap) > 0 && e.heap[0].at <= deadline {
 		e.Step()
 	}
-	if e.now < deadline && len(e.heap) > 0 {
+	if e.now < deadline {
 		e.now = deadline
 	}
 }

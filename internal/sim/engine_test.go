@@ -89,6 +89,37 @@ func TestEngineRunUntilStopsAtDeadline(t *testing.T) {
 	}
 }
 
+func TestEngineRunUntilAdvancesClockToDeadline(t *testing.T) {
+	// Regression: the clock must end at the deadline even when the queue
+	// drains early, so Now-based readings after a run (sampler stop checks,
+	// elapsed-time gauges) are well defined.
+	var e Engine
+	e.At(10, func(Time) {})
+	e.RunUntil(100)
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0", e.Pending())
+	}
+	if e.Now() != 100 {
+		t.Fatalf("clock after drained RunUntil = %v, want 100 (the deadline)", e.Now())
+	}
+
+	// With events left beyond the deadline the clock still lands on it.
+	var e2 Engine
+	e2.At(10, func(Time) {})
+	e2.At(300, func(Time) {})
+	e2.RunUntil(100)
+	if e2.Now() != 100 {
+		t.Fatalf("clock with pending event = %v, want 100", e2.Now())
+	}
+
+	// An empty engine advances too.
+	var e3 Engine
+	e3.RunUntil(50)
+	if e3.Now() != 50 {
+		t.Fatalf("clock on empty engine = %v, want 50", e3.Now())
+	}
+}
+
 func TestEngineEvery(t *testing.T) {
 	var e Engine
 	ticks := 0

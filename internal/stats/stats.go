@@ -140,6 +140,45 @@ func (b *Breakdown) LocalMissFraction() float64 {
 	return float64(local) / float64(local+remote)
 }
 
+// CheckInvariants validates the ledger's accounting identities: every
+// component is non-negative (a negative duration means a double-subtraction
+// or overflow somewhere upstream) and the busy/idle split is consistent with
+// the total. It returns an error describing the first violation, or nil.
+// The sampler runs this in debug mode on every sample.
+func (b *Breakdown) CheckInvariants() error {
+	for m := 0; m < int(modeCount); m++ {
+		if b.Compute[m] < 0 {
+			return fmt.Errorf("stats: negative compute[%d] = %v", m, b.Compute[m])
+		}
+		for s := 0; s < int(sideCount); s++ {
+			for l := 0; l < int(levelCount); l++ {
+				if b.Stall[m][s][l] < 0 {
+					return fmt.Errorf("stats: negative stall[%d][%d][%d] = %v",
+						m, s, l, b.Stall[m][s][l])
+				}
+			}
+		}
+	}
+	if b.TLBRefill < 0 {
+		return fmt.Errorf("stats: negative TLB-refill time %v", b.TLBRefill)
+	}
+	if b.FaultTime < 0 {
+		return fmt.Errorf("stats: negative fault time %v", b.FaultTime)
+	}
+	if b.Idle < 0 {
+		return fmt.Errorf("stats: negative idle time %v", b.Idle)
+	}
+	for f, d := range b.Pager.Time {
+		if d < 0 {
+			return fmt.Errorf("stats: negative pager time for %v: %v", PagerFunc(f), d)
+		}
+	}
+	if got, want := b.Total(), b.NonIdle()+b.Idle; got != want {
+		return fmt.Errorf("stats: total %v != nonidle+idle %v", got, want)
+	}
+	return nil
+}
+
 // PagerFunc indexes the kernel-overhead categories of Table 6.
 type PagerFunc int
 

@@ -148,3 +148,49 @@ func TestSummaryRenders(t *testing.T) {
 		t.Fatal("empty summary")
 	}
 }
+
+func TestCheckInvariants(t *testing.T) {
+	var b Breakdown
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatalf("zero ledger flagged: %v", err)
+	}
+	b.Compute[User] = sim.Millisecond
+	b.AddStall(Kernel, Instr, RemoteMem, 200*sim.Microsecond)
+	b.TLBRefill = 30 * sim.Microsecond
+	b.Pager.Add(FnPageCopy, 10*sim.Microsecond)
+	b.Idle = 2 * sim.Millisecond
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatalf("consistent ledger flagged: %v", err)
+	}
+
+	bad := b
+	bad.Compute[Kernel] = -1
+	if bad.CheckInvariants() == nil {
+		t.Error("negative compute not caught")
+	}
+	bad = b
+	bad.Stall[User][Data][L2] = -sim.Microsecond
+	if bad.CheckInvariants() == nil {
+		t.Error("negative stall not caught")
+	}
+	bad = b
+	bad.Idle = -1
+	if bad.CheckInvariants() == nil {
+		t.Error("negative idle not caught")
+	}
+	bad = b
+	bad.Pager.Time[FnTLBFlush] = -1
+	if bad.CheckInvariants() == nil {
+		t.Error("negative pager time not caught")
+	}
+	bad = b
+	bad.TLBRefill = -1
+	if bad.CheckInvariants() == nil {
+		t.Error("negative TLB-refill not caught")
+	}
+	bad = b
+	bad.FaultTime = -1
+	if bad.CheckInvariants() == nil {
+		t.Error("negative fault time not caught")
+	}
+}
