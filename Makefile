@@ -2,9 +2,10 @@ GO ?= go
 
 # Tier-1 verification plus formatting, the race detector, and benchmark
 # smoke runs. `make ci` is what a CI job should run.
-.PHONY: ci fmt-check vet build test race bench-smoke obs-bench-smoke bench
+.PHONY: ci fmt-check vet build test race bench-smoke obs-bench-smoke bench \
+	bench-json bench-json-smoke
 
-ci: fmt-check vet build race bench-smoke obs-bench-smoke
+ci: fmt-check vet build race bench-smoke obs-bench-smoke bench-json-smoke
 
 # gofmt -l prints nonconforming files; any output fails the target.
 fmt-check:
@@ -38,3 +39,18 @@ obs-bench-smoke:
 # The full paper-regeneration benchmark suite (see bench_test.go).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Machine-readable record of the two throughput benchmarks: one iteration at
+# quarter scale, parsed by cmd/benchjson into BENCH_3.json (ns/op, allocs/op,
+# ksteps/s, records).
+bench-json:
+	BENCH_SCALE=0.25 $(GO) test -run '^$$' \
+		-bench 'FullSystemEngineering|TraceSimThroughput' -benchmem -benchtime 1x . \
+		| $(GO) run ./cmd/benchjson -out BENCH_3.json
+	@echo wrote BENCH_3.json
+
+# Smoke: prove the bench-to-JSON pipeline parses current go test output.
+bench-json-smoke:
+	BENCH_SCALE=0.1 $(GO) test -run '^$$' \
+		-bench TraceSimThroughput -benchmem -benchtime 1x . \
+		| $(GO) run ./cmd/benchjson -out /dev/null

@@ -23,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"ccnuma/internal/profiling"
 	"ccnuma/internal/report"
 )
 
@@ -36,6 +37,8 @@ func main() {
 		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations per experiment")
 		progress = flag.Bool("progress", false, "log each simulation's start/finish/memo-hit to stderr")
 		metrics  = flag.String("metrics", "", "write per-run metrics (JSONL) to this file")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile after the run to this file")
 	)
 	flag.Parse()
 
@@ -86,10 +89,16 @@ func main() {
 		}
 		fmt.Println("wrote", *out)
 	}
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
 	// A failed simulation surfaces as a panic from the report layer; keep
 	// the completed sections by writing the partial document on that path.
 	defer func() {
 		if r := recover(); r != nil {
+			stopProf()
 			writeOut()
 			fmt.Fprintln(os.Stderr, "experiments:", r)
 			os.Exit(1)
@@ -103,6 +112,7 @@ func main() {
 		fmt.Fprintf(&doc, "## %s — %s\n\n%s\n", e.ID, e.Title, body)
 		fmt.Printf("== %s — %s (%v)\n\n%s\n", e.ID, e.Title, time.Since(t0).Round(time.Millisecond), body)
 	}
+	stopProf()
 	executed, hits := h.Counters()
 	fmt.Printf("== %d experiments in %v (-j %d): %d simulations run, %d served from memo\n",
 		len(exps), time.Since(start).Round(time.Millisecond), *jobs, executed, hits)

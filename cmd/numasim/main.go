@@ -18,6 +18,7 @@ import (
 
 	"ccnuma/internal/core"
 	"ccnuma/internal/policy"
+	"ccnuma/internal/profiling"
 	"ccnuma/internal/sim"
 	"ccnuma/internal/stats"
 	"ccnuma/internal/topology"
@@ -49,6 +50,8 @@ func main() {
 		wshared   = flag.Bool("mig-wshared", false, "migrate write-shared pages (extension)")
 		noremap   = flag.Bool("no-remap", false, "disable the pte remap action (paper behaviour)")
 		jsonOut   = flag.Bool("json", false, "emit the result as JSON instead of text")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile after the run to this file")
 	)
 	flag.Parse()
 	if *missPth == "" && *oldMiss != "" {
@@ -126,8 +129,13 @@ func main() {
 		fatal(fmt.Errorf("unknown policy %q", *pol))
 	}
 
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
 	start := time.Now()
 	res, err := core.Run(spec, opt)
+	stopProf()
 	if err != nil {
 		fatal(err)
 	}

@@ -21,6 +21,8 @@ type entry struct {
 type Cache struct {
 	sets    int
 	assoc   int
+	mask    uint64 // sets-1 when sets is a power of two
+	pow2    bool
 	ways    []entry // sets*assoc, way 0 of a set is most recently used
 	val     *Validity
 	name    string
@@ -39,6 +41,11 @@ func New(name string, sizeBytes, assoc int, val *Validity) *Cache {
 	sets := lines / assoc
 	c := &Cache{sets: sets, assoc: assoc, val: val, name: name,
 		ways: make([]entry, lines)}
+	// Every realistic geometry has a power-of-two set count; indexing by
+	// mask instead of modulo keeps an idiv out of every access.
+	if sets&(sets-1) == 0 {
+		c.mask, c.pow2 = uint64(sets-1), true
+	}
 	for i := range c.ways {
 		c.ways[i].tag = noTag
 	}
@@ -57,7 +64,12 @@ func (c *Cache) Stats() (hits, misses, stale uint64) {
 }
 
 func (c *Cache) set(l mem.GLine) []entry {
-	s := int(uint64(l) % uint64(c.sets))
+	var s int
+	if c.pow2 {
+		s = int(uint64(l) & c.mask)
+	} else {
+		s = int(uint64(l) % uint64(c.sets))
+	}
 	return c.ways[s*c.assoc : (s+1)*c.assoc]
 }
 
@@ -66,7 +78,20 @@ func (c *Cache) set(l mem.GLine) []entry {
 // epoch stamp is out of date counts as a miss (the stale copy is dropped).
 func (c *Cache) Lookup(l mem.GLine) bool {
 	set := c.set(l)
-	for i := range set {
+	// Way 0 is MRU and takes the overwhelming majority of hits; resolving it
+	// first skips the move-to-front shuffle (a no-op at i=0) entirely.
+	if set[0].tag == l {
+		if set[0].version == c.val.LineVersion(l) &&
+			set[0].epoch == c.val.PageEpoch(l.Page()) {
+			c.hits++
+			return true
+		}
+		set[0].tag = noTag
+		c.misses++
+		c.stalees++
+		return false
+	}
+	for i := 1; i < len(set); i++ {
 		if set[i].tag != l {
 			continue
 		}

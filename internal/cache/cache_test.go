@@ -52,6 +52,99 @@ func TestCacheLRUEviction(t *testing.T) {
 	}
 }
 
+func TestCacheLookupMovesHitToMRU(t *testing.T) {
+	v := NewValidity(1024)
+	c := New("tiny", 3*mem.LineSize, 3, v) // one set, three ways
+	a, b, d, x := mem.GLine(0), mem.GLine(1), mem.GLine(2), mem.GLine(3)
+	c.Insert(a, 0)
+	c.Insert(b, 0)
+	c.Insert(d, 0) // order MRU→LRU: d, b, a
+	if !c.Lookup(a) {
+		t.Fatal("a missing")
+	}
+	// Now a, d, b: inserting x must evict b (the LRU), not a or d.
+	c.Insert(x, 0)
+	if c.Contains(b) {
+		t.Fatal("LRU way b survived eviction after Lookup reordered the set")
+	}
+	if !c.Contains(a) || !c.Contains(d) || !c.Contains(x) {
+		t.Fatal("Lookup did not move the hit to MRU")
+	}
+}
+
+func TestCacheInsertRefreshMovesToMRU(t *testing.T) {
+	v := NewValidity(1024)
+	c := New("tiny", 2*mem.LineSize, 2, v) // one set, two ways
+	a, b, x := mem.GLine(0), mem.GLine(1), mem.GLine(2)
+	c.Insert(a, 0)
+	c.Insert(b, 0) // b MRU, a LRU
+	c.Insert(a, 0) // refresh in place: a back to MRU
+	c.Insert(x, 0) // must evict b
+	if c.Contains(b) {
+		t.Fatal("re-inserted way a stayed LRU; b should have been evicted")
+	}
+	if !c.Contains(a) || !c.Contains(x) {
+		t.Fatal("refresh-in-place insert lost a live line")
+	}
+}
+
+func TestCacheInsertPrefersInvalidatedWay(t *testing.T) {
+	v := NewValidity(1024)
+	c := New("tiny", 2*mem.LineSize, 2, v) // one set, two ways
+	a, b, x := mem.GLine(0), mem.GLine(1), mem.GLine(2)
+	c.Insert(a, v.LineVersion(a))
+	c.Insert(b, v.LineVersion(b)) // b MRU, a LRU... then b goes stale:
+	v.BumpLine(b)
+	if c.Lookup(b) {
+		t.Fatal("stale copy hit")
+	}
+	// b's way is now invalid. Inserting x must reuse it rather than evict
+	// the live (and LRU) line a.
+	c.Insert(x, v.LineVersion(x))
+	if !c.Contains(a) {
+		t.Fatal("live LRU line evicted while an invalidated way was free")
+	}
+	if !c.Contains(x) {
+		t.Fatal("inserted line missing")
+	}
+}
+
+// The per-reference cache operations sit inside the simulator's hot path;
+// they must not allocate.
+func TestCacheOpsZeroAllocs(t *testing.T) {
+	v := NewValidity(64)
+	c := New("hot", 4096, 2, v)
+	lines := make([]mem.GLine, 64)
+	for i := range lines {
+		lines[i] = mem.GPage(i % 8).Line(i % mem.LinesPerPage)
+	}
+	i := 0
+	avg := testing.AllocsPerRun(100, func() {
+		l := lines[i%len(lines)]
+		if !c.Lookup(l) {
+			c.Insert(l, v.LineVersion(l))
+		}
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("Lookup/Insert allocate %.2f per access, want 0", avg)
+	}
+}
+
+// BenchmarkCacheLookupInsert reports the per-access cost of the cache model
+// with ReportAllocs pinning both operations at zero allocations.
+func BenchmarkCacheLookupInsert(b *testing.B) {
+	v := NewValidity(64)
+	c := New("hot", 4096, 2, v)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l := mem.GPage(i % 8).Line(i % mem.LinesPerPage)
+		if !c.Lookup(l) {
+			c.Insert(l, v.LineVersion(l))
+		}
+	}
+}
+
 func TestCacheWriteInvalidatesOtherCopies(t *testing.T) {
 	v := NewValidity(16)
 	c1 := New("cpu0", 4096, 2, v)

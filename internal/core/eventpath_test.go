@@ -1,0 +1,68 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"ccnuma/internal/sim"
+	"ccnuma/internal/workload"
+)
+
+// The typed event path must be behaviourally invisible: the same fixed-seed
+// workload run through the original closure API and through the typed
+// handler table has to produce identical statistics and a byte-identical
+// event export. Both paths share one heap and one seq counter, so any
+// divergence means the hot-path rewrite changed scheduling order.
+func TestTypedAndClosureEventPathsIdentical(t *testing.T) {
+	run := func(closure bool) *Result {
+		t.Helper()
+		res, err := Run(tinySpec(workload.SchedAffinity, 60000), Options{
+			Seed: 7, Dynamic: true, CollectEvents: true,
+			SampleInterval: sim.Millisecond, DebugChecks: true,
+			ClosureEvents: closure,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	typed, closed := run(false), run(true)
+
+	if typed.Elapsed != closed.Elapsed || typed.Steps != closed.Steps {
+		t.Fatalf("progress diverged: typed %v/%d steps, closure %v/%d steps",
+			typed.Elapsed, typed.Steps, closed.Elapsed, closed.Steps)
+	}
+	if typed.Events != closed.Events {
+		t.Fatalf("event counts diverged: typed %d, closure %d", typed.Events, closed.Events)
+	}
+	if typed.VM != closed.VM {
+		t.Fatalf("VM stats diverged:\ntyped   %+v\nclosure %+v", typed.VM, closed.VM)
+	}
+	if typed.Actions != closed.Actions {
+		t.Fatalf("policy actions diverged:\ntyped   %+v\nclosure %+v", typed.Actions, closed.Actions)
+	}
+	if typed.Counters != closed.Counters {
+		t.Fatalf("counter stats diverged:\ntyped   %+v\nclosure %+v", typed.Counters, closed.Counters)
+	}
+	if typed.LocalMissFraction != closed.LocalMissFraction ||
+		typed.SchedMigrations != closed.SchedMigrations {
+		t.Fatalf("locality diverged: typed %.4f/%d, closure %.4f/%d",
+			typed.LocalMissFraction, typed.SchedMigrations,
+			closed.LocalMissFraction, closed.SchedMigrations)
+	}
+	if typed.Agg != closed.Agg {
+		t.Fatalf("aggregate breakdown diverged:\ntyped   %s\nclosure %s",
+			typed.Agg.Summary(), closed.Agg.Summary())
+	}
+
+	var a, b bytes.Buffer
+	if err := typed.ObsEvents.WriteJSONL(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := closed.ObsEvents.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("typed and closure runs exported different event bytes")
+	}
+}

@@ -33,6 +33,7 @@ func TestFingerprintDistinguishesEveryOptionField(t *testing.T) {
 		"code-ft":        func(o *Options) { o.ReplicateCodeOnFirstTouch = true },
 		"adaptive":       func(o *Options) { o.AdaptiveTrigger = true },
 		"reclaim":        func(o *Options) { o.ReclaimColdReplicas = true },
+		"closure-events": func(o *Options) { o.ClosureEvents = true },
 	}
 	seen := map[string]string{base.Fingerprint(): "base"}
 	for name, mutate := range variants {

@@ -20,8 +20,16 @@ const rebalancePeriod = 30 * sim.Millisecond
 // access (one cache-line touch).
 const cyclesPerStep = 4
 
+// schedule arms cpu c's next step event. Each CPU's entire chain reuses one
+// registered typed event (stepKind with the CPU index as arg), so the
+// simulator's hottest call allocates nothing. The closure form is kept
+// behind Options.ClosureEvents as the determinism reference.
 func (s *System) schedule(c *cpuState, at sim.Time) {
-	s.eng.At(at, func(now sim.Time) { s.step(c, now) })
+	if s.opt.ClosureEvents {
+		s.eng.At(at, func(now sim.Time) { s.step(c, now) })
+		return
+	}
+	s.eng.AtKind(at, s.stepKind, uint64(c.id))
 }
 
 // step is one CPU's event: pending shootdown charges, queued pager work,
@@ -43,10 +51,15 @@ func (s *System) step(c *cpuState, now sim.Time) {
 		t += c.extraDelay
 		c.extraDelay = 0
 	}
-	if len(c.pagerWork) > 0 && s.pg != nil {
-		batch := c.pagerWork[0]
-		c.pagerWork = c.pagerWork[1:]
+	if c.pagerHead < len(c.pagerWork) && s.pg != nil {
+		batch := c.pagerWork[c.pagerHead]
+		c.pagerHead++
+		if c.pagerHead == len(c.pagerWork) {
+			c.pagerWork = c.pagerWork[:0]
+			c.pagerHead = 0
+		}
 		dt := s.pg.HandleBatch(t, c.id, batch, &c.bd)
+		s.batchPool = append(s.batchPool, batch)
 		s.schedule(c, t+dt)
 		return
 	}
@@ -87,12 +100,17 @@ func (s *System) step(c *cpuState, now sim.Time) {
 		case workload.StepBlock:
 			s.schedul.Block(p.sp)
 			c.cur = nil
-			wake := p
-			s.eng.At(t+st.Dur, func(sim.Time) {
-				if wake.alive {
-					s.schedul.MakeRunnable(wake.sp)
-				}
-			})
+			if s.opt.ClosureEvents {
+				wake := p
+				s.eng.At(t+st.Dur, func(sim.Time) {
+					if wake.alive {
+						s.schedul.MakeRunnable(wake.sp)
+					}
+				})
+			} else {
+				s.eng.AtKind(t+st.Dur, s.wakeKind,
+					uint64(p.vmID)<<32|uint64(p.slotGen))
+			}
 		case workload.StepAccess:
 			var missed bool
 			t, missed = s.access(c, p, st, t)
@@ -235,9 +253,10 @@ func (s *System) codeFirstTouchReplica(p *procState, page mem.GPage, pte vm.PTE)
 	return s.vmm.PTE(p.vmID, page)
 }
 
-// Run executes the workload to the configured deadline and returns the
-// measurements.
-func (s *System) Run() (*Result, error) {
+// start arms the run: process spawns, pre-touches, the periodic kernel
+// events, the sampler, and each CPU's initial step event. Split from Run so
+// tests and benchmarks can drive the engine step by step.
+func (s *System) start() {
 	for i := range s.spec.Procs {
 		ps := &s.spec.Procs[i]
 		if ps.StartAt <= 0 {
@@ -273,9 +292,14 @@ func (s *System) Run() (*Result, error) {
 	}
 	s.startSampler()
 	for _, c := range s.cpus {
-		c := c
-		s.eng.At(0, func(now sim.Time) { s.step(c, now) })
+		s.schedule(c, 0)
 	}
+}
+
+// Run executes the workload to the configured deadline and returns the
+// measurements.
+func (s *System) Run() (*Result, error) {
+	s.start()
 	s.eng.RunUntil(s.deadline)
 	if s.tracer != nil {
 		s.tracer.Sort()

@@ -36,6 +36,10 @@ type procState struct {
 	spec  *workload.ProcSpec
 	gen   workload.Generator
 	alive bool
+	// slotGen distinguishes successive occupants of a reused vm ProcID slot,
+	// so a typed wake event scheduled for an exited process cannot wake its
+	// successor (the closure path pins the exact procState instead).
+	slotGen uint32
 }
 
 type cpuState struct {
@@ -46,8 +50,11 @@ type cpuState struct {
 	cur     *procState
 	quantum sim.Time // current quantum's end
 
-	// pagerWork holds hot-page batches queued for this CPU's next step.
+	// pagerWork holds hot-page batches queued for this CPU's next step;
+	// pagerHead indexes the next unserviced batch so draining reuses one
+	// backing array instead of re-slicing it away.
 	pagerWork [][]directory.HotRef
+	pagerHead int
 	// flushCharge is pending TLB-shootdown interrupt time to charge.
 	flushCharge sim.Time
 
@@ -75,9 +82,22 @@ type System struct {
 	schedul  sched.Scheduler
 	cpus     []*cpuState
 	procs    []*procState // indexed by vm ProcID (slots reused)
+	slotGens []uint32     // per vm-slot generation counters (wake identity)
 	tracer   *trace.Trace
 	deadline sim.Time // hard cap; runs normally end at workload completion
 	seedGen  *sim.Rand
+
+	// Typed event kinds (registered once in NewSystem): the per-CPU step
+	// chain and the process wake-after-block event. Scheduling them carries
+	// only an integer arg through the engine heap, so the simulator's inner
+	// loop allocates nothing per event. Options.ClosureEvents falls back to
+	// the closure path for A/B determinism checks.
+	stepKind sim.Kind
+	wakeKind sim.Kind
+
+	// batchPool recycles the hot-page batch slices that travel from the
+	// directory's pending queue through cpuState.pagerWork to HandleBatch.
+	batchPool [][]directory.HotRef
 
 	// Observability (nil when disabled): the typed event tracer wired
 	// through vm/pager/directory, and the periodic time-series sampler with
@@ -174,8 +194,17 @@ func NewSystem(spec *workload.Spec, opt Options) (*System, error) {
 		}
 	}
 	if opt.CollectTrace {
-		s.tracer = &trace.Trace{}
+		// Size the record buffer for the run's step budget (duration worth of
+		// steps across all CPUs, of which roughly one in sixteen produces a
+		// record) so the trace does not re-grow throughout the run.
+		s.tracer = trace.WithCapacity(traceCapacity(opt.Duration, cfg))
 	}
+	s.stepKind = s.eng.Register(func(now sim.Time, arg uint64) {
+		s.step(s.cpus[arg], now)
+	})
+	s.wakeKind = s.eng.Register(func(now sim.Time, arg uint64) {
+		s.wakeProc(mem.ProcID(arg>>32), uint32(arg))
+	})
 	s.wireObservability()
 
 	s.wireKernelRegions()
@@ -207,14 +236,47 @@ func (s *System) wireKernelRegions() {
 	}
 }
 
+// traceCapacity estimates the miss-trace record volume for a run of the
+// given duration: the machine's total step budget, of which roughly one in
+// sixteen references produces a TLB- or cache-miss record. Only a capacity
+// hint — the trace grows past it if the estimate is low.
+func traceCapacity(d sim.Time, cfg topology.Config) int {
+	steps := int64(d) / int64(cfg.CycleTime*cyclesPerStep) * int64(cfg.TotalCPUs())
+	est := int(steps / 16)
+	if est < 1024 {
+		est = 1024
+	}
+	if est > 1<<22 {
+		est = 1 << 22
+	}
+	return est
+}
+
+// wakeProc is the typed wake-after-block event: make the process runnable
+// again if the same process still occupies the slot and is still alive.
+func (s *System) wakeProc(id mem.ProcID, gen uint32) {
+	if int(id) >= len(s.procs) {
+		return
+	}
+	if p := s.procs[id]; p != nil && p.slotGen == gen && p.alive {
+		s.schedul.MakeRunnable(p.sp)
+	}
+}
+
 // onHotBatch queues a pager interrupt for the CPU that triggered the first
-// hot page of the batch.
+// hot page of the batch. The directory's batch slice is only borrowed for
+// the duration of the call, so it is copied into a pooled slice that step
+// returns to the pool once HandleBatch has serviced it.
 func (s *System) onHotBatch(batch []directory.HotRef) {
 	if s.pg == nil {
 		return
 	}
-	cp := make([]directory.HotRef, len(batch))
-	copy(cp, batch)
+	var cp []directory.HotRef
+	if n := len(s.batchPool); n > 0 {
+		cp = s.batchPool[n-1][:0]
+		s.batchPool = s.batchPool[:n-1]
+	}
+	cp = append(cp, batch...)
 	s.cpus[batch[0].CPU].pagerWork = append(s.cpus[batch[0].CPU].pagerWork, cp)
 }
 
@@ -277,7 +339,10 @@ func (s *System) addProc(ps *workload.ProcSpec) *procState {
 	}
 	for int(id) >= len(s.procs) {
 		s.procs = append(s.procs, nil)
+		s.slotGens = append(s.slotGens, 0)
 	}
+	s.slotGens[id]++
+	p.slotGen = s.slotGens[id]
 	s.procs[id] = p
 	s.schedul.Add(p.sp)
 	s.live++

@@ -18,7 +18,9 @@ type HotRef struct {
 }
 
 // BatchFunc receives a batch of hot pages; the system schedules the pager
-// interrupt on the CPU of the first reference.
+// interrupt on the CPU of the first reference. The batch slice is borrowed:
+// it aliases the counters' reusable pending buffer and is only valid for the
+// duration of the call, so a callback that queues the work must copy it.
 type BatchFunc func(batch []HotRef)
 
 // Counters implements the paper's counting machinery: one saturating miss
@@ -139,13 +141,14 @@ func (c *Counters) Record(page mem.GPage, cpu mem.CPUID, isWrite, remote bool) {
 }
 
 // FlushPending delivers any queued hot pages to the batch callback. The
-// periodic reset calls it so a partial batch is not held indefinitely.
+// periodic reset calls it so a partial batch is not held indefinitely. The
+// pending buffer itself is handed to the callback (see BatchFunc's borrowing
+// contract) and reused for the next batch, so flushing allocates nothing.
 func (c *Counters) FlushPending() {
 	if len(c.pending) == 0 || c.onBatch == nil {
 		return
 	}
-	batch := make([]HotRef, len(c.pending))
-	copy(batch, c.pending)
+	batch := c.pending
 	c.pending = c.pending[:0]
 	for _, h := range batch {
 		c.inPending[h.Page] = false

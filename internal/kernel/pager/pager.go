@@ -69,6 +69,16 @@ type Pager struct {
 	// TriggerTrace records the trigger value at each interval boundary
 	// (observability for the adaptive extension).
 	TriggerTrace []uint16
+
+	// Scratch buffers reused across handler invocations. The pager runs
+	// inside single-threaded simulator events, so one set per Pager suffices;
+	// each holder's slice is only read within the same invocation.
+	ops        []pendingOp
+	flushPages []mem.GPage
+	nodesBuf   []mem.NodeID
+	mappersBuf []mem.ProcID
+	reclaimBuf []mem.GPage
+	onePage    [1]mem.GPage
 }
 
 // New builds a pager. Flush must be set before the first hot batch arrives.
@@ -100,6 +110,23 @@ type pendingOp struct {
 	latency   sim.Time     // accumulated per-op latency for Table 5
 }
 
+// acquireOp extends the reusable ops buffer by one cleared slot, retaining
+// the slot's newFrames capacity from earlier batches. Callers that decide
+// the op needs no further processing pop it again with dropOp.
+func (pg *Pager) acquireOp() *pendingOp {
+	if n := len(pg.ops); n < cap(pg.ops) {
+		pg.ops = pg.ops[:n+1]
+	} else {
+		pg.ops = append(pg.ops, pendingOp{})
+	}
+	op := &pg.ops[len(pg.ops)-1]
+	*op = pendingOp{newFrames: op.newFrames[:0]}
+	return op
+}
+
+// dropOp discards the most recently acquired op slot.
+func (pg *Pager) dropOp() { pg.ops = pg.ops[:len(pg.ops)-1] }
+
 // HandleBatch services a pager interrupt on cpu at virtual time now for the
 // given hot pages. It performs all decisions and VM changes, charges
 // simulated lock waits, and returns the total handler time, recording the
@@ -128,11 +155,12 @@ func (pg *Pager) HandleBatch(now sim.Time, cpu mem.CPUID, batch []directory.HotR
 		pg.Obs.Emit(e)
 	}
 
-	ops := make([]pendingOp, 0, len(batch))
-	var flushPages []mem.GPage
+	pg.ops = pg.ops[:0]
+	pg.flushPages = pg.flushPages[:0]
 
 	for _, h := range batch {
-		op := pendingOp{ref: h, latency: intrShare}
+		op := pg.acquireOp()
+		op.ref, op.latency = h, intrShare
 
 		// Step 3: policy decision under the page lock.
 		wait := pg.locks.PageLock(uint32(h.Page)).Acquire(t, k.PageLockHold)
@@ -152,12 +180,14 @@ func (pg *Pager) HandleBatch(now sim.Time, cpu mem.CPUID, batch []directory.HotR
 		case policy.DoNothing:
 			pg.counters.ClearPage(h.Page)
 			pg.Actions.Record(op.decision, false)
+			pg.dropOp()
 			continue
 		case policy.RemapPage:
 			node := pg.cfg.NodeOf(h.CPU)
 			op.remapped = pg.staleMappers(h.Page, node)
 			if len(op.remapped) == 0 {
 				pg.Actions.Record(policy.Decision{Action: policy.DoNothing, Reason: policy.ReasonLocal}, false)
+				pg.dropOp()
 				continue
 			}
 			// Remap is cheap: pte updates plus the shared flush.
@@ -168,10 +198,11 @@ func (pg *Pager) HandleBatch(now sim.Time, cpu mem.CPUID, batch []directory.HotR
 			t += dt
 			bd.Pager.Add(stats.FnLinksMapping, dt)
 			op.latency += dt
-			flushPages = append(flushPages, h.Page)
+			pg.flushPages = append(pg.flushPages, h.Page)
 			pg.counters.ClearPage(h.Page)
 			pg.Actions.Record(op.decision, false)
 			pg.vm.Page(h.Page).TransitUntil = t
+			pg.dropOp()
 			continue
 		case policy.MigratePage:
 			op.kind = stats.OpMigrate
@@ -203,6 +234,7 @@ func (pg *Pager) HandleBatch(now sim.Time, cpu mem.CPUID, batch []directory.HotR
 		bd.Pager.AddOpStep(op.kind, stats.FnIntrProc, intrShare)
 		bd.Pager.AddOpStep(op.kind, stats.FnPolicyDecision, k.PolicyDecision)
 		if len(op.newFrames) == 0 {
+			pg.dropOp()
 			continue
 		}
 
@@ -221,31 +253,30 @@ func (pg *Pager) HandleBatch(now sim.Time, cpu mem.CPUID, batch []directory.HotR
 		bd.Pager.AddOpStep(op.kind, stats.FnLinksMapping, dt)
 		op.latency += dt
 
-		flushPages = append(flushPages, h.Page)
-		ops = append(ops, op)
+		pg.flushPages = append(pg.flushPages, h.Page)
 	}
 
 	// Step 6: one TLB flush for the whole batch.
-	if len(flushPages) > 0 {
+	if len(pg.flushPages) > 0 {
 		fw := k.TLBFlushWait
 		if pg.Flush != nil {
-			fw = pg.Flush(t, cpu, flushPages)
+			fw = pg.Flush(t, cpu, pg.flushPages)
 		}
 		t += fw
-		pg.observeShootdown(t, cpu, len(flushPages), fw)
+		pg.observeShootdown(t, cpu, len(pg.flushPages), fw)
 		bd.Pager.Add(stats.FnTLBFlush, fw)
-		if len(ops) > 0 {
-			share := fw / sim.Time(len(ops))
-			for i := range ops {
-				bd.Pager.AddOpStep(ops[i].kind, stats.FnTLBFlush, share)
-				ops[i].latency += share
+		if len(pg.ops) > 0 {
+			share := fw / sim.Time(len(pg.ops))
+			for i := range pg.ops {
+				bd.Pager.AddOpStep(pg.ops[i].kind, stats.FnTLBFlush, share)
+				pg.ops[i].latency += share
 			}
 		}
 	}
 
 	// Steps 7-8 per copy: copy the data, then final mapping updates.
-	for i := range ops {
-		op := &ops[i]
+	for i := range pg.ops {
+		op := &pg.ops[i]
 		acted := false
 		copies := 0
 		for _, f := range op.newFrames {
@@ -315,10 +346,11 @@ func (pg *Pager) observeShootdown(at sim.Time, cpu mem.CPUID, n int, wait sim.Ti
 // no copy yet.
 func (pg *Pager) targetNodes(h directory.HotRef, a policy.Action) []mem.NodeID {
 	home := pg.cfg.NodeOf(h.CPU)
+	nodes := append(pg.nodesBuf[:0], home)
 	if a == policy.MigratePage {
-		return []mem.NodeID{home}
+		pg.nodesBuf = nodes
+		return nodes
 	}
-	nodes := []mem.NodeID{home}
 	row := pg.counters.MissRow(h.Page)
 	for c := 0; c < pg.cfg.TotalCPUs(); c++ {
 		n := row[pg.counters.GroupOf(mem.CPUID(c))]
@@ -339,6 +371,7 @@ func (pg *Pager) targetNodes(h directory.HotRef, a policy.Action) []mem.NodeID {
 			nodes = append(nodes, cn)
 		}
 	}
+	pg.nodesBuf = nodes
 	return nodes
 }
 
@@ -365,16 +398,17 @@ func (pg *Pager) decide(h directory.HotRef) policy.Decision {
 // staleMappers lists processes running on node whose pte for page points at
 // a copy on some other node.
 func (pg *Pager) staleMappers(page mem.GPage, node mem.NodeID) []mem.ProcID {
-	var out []mem.ProcID
 	local := pg.vm.NearestCopy(page, node)
 	if pg.cfg.NodeOfFrame(local) != node {
 		return nil
 	}
+	out := pg.mappersBuf[:0]
 	for _, pid := range pg.vm.Page(page).Mappers {
 		if pg.vm.Locate(pid) == node && pg.vm.PTE(pid, page).PFN != local {
 			out = append(out, pid)
 		}
 	}
+	pg.mappersBuf = out
 	return out
 }
 
@@ -410,7 +444,8 @@ func (pg *Pager) CollapseWrite(now sim.Time, cpu mem.CPUID, page mem.GPage, bd *
 
 	fw := k.TLBFlushWait
 	if pg.Flush != nil {
-		fw = pg.Flush(t, cpu, []mem.GPage{page})
+		pg.onePage[0] = page
+		fw = pg.Flush(t, cpu, pg.onePage[:])
 	}
 	t += fw
 	pg.observeShootdown(t, cpu, 1, fw)
@@ -465,7 +500,7 @@ func (pg *Pager) adaptTrigger() {
 func (pg *Pager) ReclaimColdReplicas(now sim.Time, cpu mem.CPUID, bd *stats.Breakdown) sim.Time {
 	k := pg.cfg.Kernel
 	t := now
-	var pages []mem.GPage
+	pages := pg.reclaimBuf[:0]
 	for p := 0; p < pg.vm.Pages(); p++ {
 		pi := pg.vm.Page(mem.GPage(p))
 		if len(pi.Replicas) == 0 {
@@ -482,6 +517,7 @@ func (pg *Pager) ReclaimColdReplicas(now sim.Time, cpu mem.CPUID, bd *stats.Brea
 			pages = append(pages, mem.GPage(p))
 		}
 	}
+	pg.reclaimBuf = pages
 	if len(pages) == 0 {
 		return 0
 	}

@@ -1,0 +1,54 @@
+// Package profiling wires the conventional -cpuprofile/-memprofile flags
+// into the command-line tools, so a slow simulation can be fed straight to
+// `go tool pprof` without rebuilding anything.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins a CPU profile to cpuPath when it is non-empty. The returned
+// stop function ends the CPU profile and, when memPath is non-empty, runs a
+// GC and writes a heap profile there. stop is idempotent, so commands can
+// both defer it and call it explicitly before an os.Exit path.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "profiling:", err)
+				return
+			}
+			// Collect garbage first so the snapshot shows live steady-state
+			// memory, not whatever the last cycle left behind.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "profiling:", err)
+			}
+			f.Close()
+		}
+	}, nil
+}

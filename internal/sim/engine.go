@@ -5,18 +5,35 @@ package sim
 // scheduled for.
 type Event func(now Time)
 
+// Handler is a typed event callback registered once with Register and then
+// scheduled any number of times by kind. Scheduling a typed event stores only
+// a plain {at, seq, kind, arg} heap item, so the hot paths that re-schedule
+// the same logical event for an entire run (a CPU's step chain, a periodic
+// tick) allocate nothing per event. arg is the payload supplied at
+// scheduling time (a CPU index, an encoded process identity).
+type Handler func(now Time, arg uint64)
+
+// Kind identifies a registered Handler.
+type Kind int32
+
+// noKind marks closure items; typed items carry a registered Kind >= 0.
+const noKind Kind = -1
+
 type item struct {
-	at  Time
-	seq uint64 // tie-break so equal-time events fire in schedule order
-	fn  Event
+	at   Time
+	seq  uint64 // tie-break so equal-time events fire in schedule order
+	fn   Event  // closure events; nil for typed events
+	kind Kind   // typed events: index into the handler table
+	arg  uint64 // typed events: scheduling-time payload
 }
 
 // Engine is a discrete-event simulator. The zero value is ready to use.
 type Engine struct {
-	now   Time
-	seq   uint64
-	heap  []item
-	fired uint64
+	now      Time
+	seq      uint64
+	heap     []item
+	fired    uint64
+	handlers []Handler
 }
 
 // Now returns the current virtual time.
@@ -35,7 +52,7 @@ func (e *Engine) At(at Time, fn Event) {
 		panic("sim: event scheduled in the past")
 	}
 	e.seq++
-	e.heap = append(e.heap, item{at: at, seq: e.seq, fn: fn})
+	e.heap = append(e.heap, item{at: at, seq: e.seq, fn: fn, kind: noKind})
 	e.up(len(e.heap) - 1)
 }
 
@@ -47,20 +64,58 @@ func (e *Engine) After(d Time, fn Event) {
 	e.At(e.now+d, fn)
 }
 
+// Register installs h in the engine's handler table and returns the Kind to
+// schedule it under. Registration is the once-per-subsystem setup cost of the
+// typed event path; AtKind/AfterKind then schedule it allocation-free. Typed
+// and closure events share one queue, so their relative order follows the
+// usual (time, schedule-order) rule.
+func (e *Engine) Register(h Handler) Kind {
+	if h == nil {
+		panic("sim: nil handler")
+	}
+	e.handlers = append(e.handlers, h)
+	return Kind(len(e.handlers) - 1)
+}
+
+// AtKind schedules the handler registered under k to run at absolute time at
+// with the given arg. Like At, scheduling in the past panics.
+func (e *Engine) AtKind(at Time, k Kind, arg uint64) {
+	if at < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	if k < 0 || int(k) >= len(e.handlers) {
+		panic("sim: unregistered event kind")
+	}
+	e.seq++
+	e.heap = append(e.heap, item{at: at, seq: e.seq, kind: k, arg: arg})
+	e.up(len(e.heap) - 1)
+}
+
+// AfterKind schedules the handler registered under k to run d nanoseconds
+// from now with the given arg.
+func (e *Engine) AfterKind(d Time, k Kind, arg uint64) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	e.AtKind(e.now+d, k, arg)
+}
+
 // Every schedules fn at now+period, now+2*period, ... until stop returns
-// true (checked after each firing).
+// true (checked after each firing). The tick is one registered typed event
+// re-armed with AfterKind, so a periodic schedule costs one registration up
+// front and nothing per period.
 func (e *Engine) Every(period Time, fn Event, stop func() bool) {
 	if period <= 0 {
 		panic("sim: non-positive period")
 	}
-	var tick Event
-	tick = func(now Time) {
+	var kind Kind
+	kind = e.Register(func(now Time, _ uint64) {
 		fn(now)
 		if stop == nil || !stop() {
-			e.After(period, tick)
+			e.AfterKind(period, kind, 0)
 		}
-	}
-	e.After(period, tick)
+	})
+	e.AfterKind(period, kind, 0)
 }
 
 // Step dispatches the next event, advancing the clock to its time. It
@@ -78,7 +133,11 @@ func (e *Engine) Step() bool {
 	}
 	e.now = top.at
 	e.fired++
-	top.fn(e.now)
+	if top.fn != nil {
+		top.fn(e.now)
+	} else {
+		e.handlers[top.kind](e.now, top.arg)
+	}
 	return true
 }
 

@@ -133,6 +133,58 @@ func TestEngineEvery(t *testing.T) {
 	}
 }
 
+func TestEngineTypedEventsInterleaveWithClosures(t *testing.T) {
+	// Typed and closure events share one queue and one seq counter, so
+	// equal-time events fire in schedule order regardless of which API
+	// scheduled them. The determinism of the typed hot path rests on this.
+	var e Engine
+	var got []int
+	kind := e.Register(func(_ Time, arg uint64) { got = append(got, int(arg)) })
+	e.At(5, func(Time) { got = append(got, 0) })
+	e.AtKind(5, kind, 1)
+	e.At(5, func(Time) { got = append(got, 2) })
+	e.AtKind(5, kind, 3)
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("mixed-API same-time events fired out of order: %v", got)
+		}
+	}
+}
+
+func TestEngineAtKindUnregisteredPanics(t *testing.T) {
+	var e Engine
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling an unregistered kind did not panic")
+		}
+	}()
+	e.AtKind(10, Kind(0), 0)
+}
+
+func TestEngineEveryStopsAtDeadlineBoundary(t *testing.T) {
+	// Regression guard for the typed-tick rewrite of Every: a tick landing
+	// exactly on the deadline must fire, and a stop condition that becomes
+	// true on that tick must not re-arm — Pending and Fired account for
+	// every tick and nothing more.
+	var e Engine
+	ticks := 0
+	e.Every(10, func(Time) { ticks++ }, func() bool { return e.Now() >= 30 })
+	e.RunUntil(30)
+	if ticks != 3 {
+		t.Fatalf("ticks = %d, want 3 (10, 20, and the deadline tick at 30)", ticks)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d after stop fired, want 0", e.Pending())
+	}
+	if e.Fired() != 3 {
+		t.Fatalf("fired = %d, want 3", e.Fired())
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock = %v, want 30", e.Now())
+	}
+}
+
 func TestTimeString(t *testing.T) {
 	cases := []struct {
 		in   Time

@@ -31,6 +31,8 @@ type entry struct {
 type TLB struct {
 	sets   int
 	assoc  int
+	mask   uint32 // sets-1 when sets is a power of two
+	pow2   bool
 	ways   []entry // way 0 of a set is MRU
 	hits   uint64
 	misses uint64
@@ -41,14 +43,25 @@ func New(entries, assoc int) *TLB {
 	if entries <= 0 || assoc <= 0 || entries%assoc != 0 {
 		panic(fmt.Sprintf("tlb: bad geometry entries=%d assoc=%d", entries, assoc))
 	}
-	return &TLB{sets: entries / assoc, assoc: assoc, ways: make([]entry, entries)}
+	t := &TLB{sets: entries / assoc, assoc: assoc, ways: make([]entry, entries)}
+	// Power-of-two set counts (the realistic case) index by mask, keeping an
+	// idiv out of every translation.
+	if t.sets&(t.sets-1) == 0 {
+		t.mask, t.pow2 = uint32(t.sets-1), true
+	}
+	return t
 }
 
 // Stats returns cumulative hit and miss counts.
 func (t *TLB) Stats() (hits, misses uint64) { return t.hits, t.misses }
 
 func (t *TLB) set(p mem.GPage) []entry {
-	s := int(uint32(p) % uint32(t.sets))
+	var s int
+	if t.pow2 {
+		s = int(uint32(p) & t.mask)
+	} else {
+		s = int(uint32(p) % uint32(t.sets))
+	}
 	return t.ways[s*t.assoc : (s+1)*t.assoc]
 }
 
@@ -57,7 +70,13 @@ func (t *TLB) set(p mem.GPage) []entry {
 // models the software refill.
 func (t *TLB) Lookup(asid mem.ProcID, p mem.GPage) (pfn mem.PFN, ro bool, ok bool) {
 	set := t.set(p)
-	for i := range set {
+	// MRU (way 0) takes most hits; answering it before the scan skips the
+	// move-to-front copy, which is a no-op at way 0 anyway.
+	if e := &set[0]; e.valid && e.page == p && e.asid == asid {
+		t.hits++
+		return e.pfn, e.ro, true
+	}
+	for i := 1; i < len(set); i++ {
 		if set[i].valid && set[i].page == p && set[i].asid == asid {
 			e := set[i]
 			copy(set[1:i+1], set[:i])

@@ -41,6 +41,17 @@ type Trace struct {
 	Records []Record
 }
 
+// WithCapacity returns an empty trace whose record buffer holds n records
+// before growing. Callers that can bound the expected record volume (the
+// machine simulator knows its step budget) avoid repeated re-allocation of a
+// multi-megabyte buffer during the run.
+func WithCapacity(n int) *Trace {
+	if n < 0 {
+		n = 0
+	}
+	return &Trace{Records: make([]Record, 0, n)}
+}
+
 // Append adds a record.
 func (t *Trace) Append(r Record) { t.Records = append(t.Records, r) }
 

@@ -56,7 +56,13 @@ func (s *Window) next(r *sim.Rand, _ mem.CPUID) (mem.GPage, uint8, mem.AccessKin
 	if w > s.Reg.N {
 		w = s.Reg.N
 	}
-	p := s.Reg.Page((s.base + r.Intn(w)) % s.Reg.N)
+	// base and the draw are both < N, so a conditional subtract stands in
+	// for the per-access modulo.
+	idx := s.base + r.Intn(w)
+	if idx >= s.Reg.N {
+		idx -= s.Reg.N
+	}
+	p := s.Reg.Page(idx)
 	s.count++
 	if s.MoveEvery > 0 && s.count >= s.MoveEvery {
 		s.count = 0
@@ -202,7 +208,12 @@ func (s *CodeWalk) next(r *sim.Rand, _ mem.CPUID) (mem.GPage, uint8, mem.AccessK
 		if hot > total {
 			hot = total
 		}
-		line := (s.base + s.hotPos) % total
+		// base < total and hotPos < hot <= total, so one conditional
+		// subtract replaces the modulo (an idiv on every hot fetch).
+		line := s.base + s.hotPos
+		if line >= total {
+			line -= total
+		}
 		s.hotPos++
 		if s.hotPos >= hot {
 			s.hotPos = 0
@@ -213,7 +224,10 @@ func (s *CodeWalk) next(r *sim.Rand, _ mem.CPUID) (mem.GPage, uint8, mem.AccessK
 	if loop <= 0 || loop > total {
 		loop = total
 	}
-	line := (s.base + s.pos) % total
+	line := s.base + s.pos
+	if line >= total {
+		line -= total
+	}
 	s.pos++
 	if s.pos >= loop {
 		s.pos = 0

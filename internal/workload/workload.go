@@ -63,12 +63,18 @@ type Region struct {
 	WireStripe bool
 }
 
-// Page returns the i-th page of the region.
+// Page returns the i-th page of the region. The out-of-range panic lives in
+// a separate function so Page itself stays within the inlining budget — it
+// runs once per generated reference.
 func (r Region) Page(i int) mem.GPage {
 	if i < 0 || i >= r.N {
-		panic(fmt.Sprintf("workload: page %d outside region %s (%d pages)", i, r.Name, r.N))
+		r.pageOutOfRange(i)
 	}
 	return r.Start + mem.GPage(i)
+}
+
+func (r Region) pageOutOfRange(i int) {
+	panic(fmt.Sprintf("workload: page %d outside region %s (%d pages)", i, r.Name, r.N))
 }
 
 // Layout hands out dense page ranges.
