@@ -2,10 +2,10 @@ GO ?= go
 
 # Tier-1 verification plus formatting, the race detector, and benchmark
 # smoke runs. `make ci` is what a CI job should run.
-.PHONY: ci fmt-check vet build test race bench-smoke obs-bench-smoke bench \
-	bench-json bench-json-smoke
+.PHONY: ci fmt-check vet build test race fault-smoke bench-smoke \
+	obs-bench-smoke bench bench-json bench-json-smoke
 
-ci: fmt-check vet build race bench-smoke obs-bench-smoke bench-json-smoke
+ci: fmt-check vet build race fault-smoke bench-smoke obs-bench-smoke bench-json-smoke
 
 # gofmt -l prints nonconforming files; any output fails the target.
 fmt-check:
@@ -25,6 +25,12 @@ test:
 # per-experiment worker pools); keep the race detector in the loop.
 race:
 	$(GO) test -race ./...
+
+# The chaos suite: a full-fault run (drain + drops + transient allocation
+# failures + slow link) must complete deterministically with invariants
+# intact. Cheap enough to run on every CI pass.
+fault-smoke:
+	$(GO) test -run 'TestChaos' -count=1 ./internal/core
 
 # One cheap iteration of the trace-simulator benchmark proves the bench
 # harness still builds and runs end to end.

@@ -39,6 +39,12 @@ func main() {
 		metrics  = flag.String("metrics", "", "write per-run metrics (JSONL) to this file")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile after the run to this file")
+
+		retries      = flag.Int("retries", 0, "re-attempt each failed simulation this many times")
+		retryBackoff = flag.Duration("retry-backoff", 100*time.Millisecond, "pause before the first retry (doubles per attempt)")
+		runTimeout   = flag.Duration("run-timeout", 0, "per-simulation wall-clock timeout (0 = none)")
+		keepGoing    = flag.Bool("keep-going", false, "complete the grid past failed runs and write a failure manifest")
+		manifest     = flag.String("manifest", "", "failure-manifest path (default <out>.failures.json or experiments.failures.json)")
 	)
 	flag.Parse()
 
@@ -71,6 +77,10 @@ func main() {
 
 	h := report.NewHarness(*scale, *seed)
 	h.Workers = *jobs
+	h.Retries = *retries
+	h.RetryBackoff = *retryBackoff
+	h.RunTimeout = *runTimeout
+	h.KeepGoing = *keepGoing
 	if *progress {
 		t0 := time.Now()
 		h.Logf = func(format string, args ...any) {
@@ -106,9 +116,24 @@ func main() {
 	}()
 
 	start := time.Now()
+	var failedExps []string
+	runExp := func(e report.Experiment) (body string) {
+		if *keepGoing {
+			// A placeholder result from a failed run can still break an
+			// experiment's rendering; under -keep-going that costs only the
+			// one section, not the rest of the grid.
+			defer func() {
+				if r := recover(); r != nil {
+					failedExps = append(failedExps, e.ID)
+					body = fmt.Sprintf("FAILED: %v\n", r)
+				}
+			}()
+		}
+		return e.Run(h)
+	}
 	for _, e := range exps {
 		t0 := time.Now()
-		body := e.Run(h)
+		body := runExp(e)
 		fmt.Fprintf(&doc, "## %s — %s\n\n%s\n", e.ID, e.Title, body)
 		fmt.Printf("== %s — %s (%v)\n\n%s\n", e.ID, e.Title, time.Since(t0).Round(time.Millisecond), body)
 	}
@@ -138,4 +163,40 @@ func main() {
 	}
 
 	writeOut()
+
+	if failures := h.Failures(); len(failures) > 0 || len(failedExps) > 0 {
+		path := *manifest
+		if path == "" {
+			if *out != "" {
+				path = *out + ".failures.json"
+			} else {
+				path = "experiments.failures.json"
+			}
+		}
+		m := struct {
+			Completed         int                 `json:"completed"`
+			Total             int                 `json:"total"`
+			ExperimentsFailed []string            `json:"experiments_failed"`
+			RunsFailed        []report.RunFailure `json:"runs_failed"`
+		}{
+			Completed:         len(exps) - len(failedExps),
+			Total:             len(exps),
+			ExperimentsFailed: failedExps,
+			RunsFailed:        failures,
+		}
+		if m.ExperimentsFailed == nil {
+			m.ExperimentsFailed = []string{}
+		}
+		b, err := json.MarshalIndent(m, "", "  ")
+		if err == nil {
+			err = os.WriteFile(path, append(b, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "experiments: %d run(s) failed, %d experiment(s) incomplete; manifest: %s\n",
+				len(failures), len(failedExps), path)
+		}
+		os.Exit(1)
+	}
 }

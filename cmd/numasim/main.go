@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"ccnuma/internal/core"
+	"ccnuma/internal/fault"
 	"ccnuma/internal/policy"
 	"ccnuma/internal/profiling"
 	"ccnuma/internal/sim"
@@ -52,6 +53,20 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit the result as JSON instead of text")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile after the run to this file")
+
+		faultSeed    = flag.Uint64("fault-seed", 0, "fault injector RNG seed (0 = derive from -seed)")
+		drainNode    = flag.Int("fault-drain-node", -1, "drain this node's memory mid-run (-1 = off)")
+		drainAt      = flag.Duration("fault-drain-at", 10*time.Millisecond, "simulated time of the drain")
+		dropBatch    = flag.Float64("fault-drop-batch", 0, "probability a hot-page interrupt batch is lost")
+		delayBatch   = flag.Float64("fault-delay-batch", 0, "probability a hot-page interrupt batch is delayed")
+		delayBy      = flag.Duration("fault-delay", 200*time.Microsecond, "delay applied to delayed batches (simulated time)")
+		allocProb    = flag.Float64("fault-alloc-prob", 0, "probability an allocation attempt fails transiently")
+		allocFrom    = flag.Duration("fault-alloc-from", 0, "start of the transient-failure window (simulated time)")
+		allocUntil   = flag.Duration("fault-alloc-until", 0, "end of the transient-failure window (0 = end of run)")
+		slowNode     = flag.Int("fault-slow-node", -1, "inflate remote-miss latency to/from this node (-1 = off)")
+		slowFactor   = flag.Float64("fault-slow-factor", 4, "latency multiplier for the degraded link")
+		deferOps     = flag.Bool("fault-defer", false, "defer+retry pager operations that fail allocation")
+		overheadBudg = flag.Float64("overhead-budget", 0, "shed pager batches above this fraction of CPU time (0 = off)")
 	)
 	flag.Parse()
 	if *missPth == "" && *oldMiss != "" {
@@ -129,6 +144,34 @@ func main() {
 		fatal(fmt.Errorf("unknown policy %q", *pol))
 	}
 
+	// Drain and slow-link faults key off their node flags; the Config fields
+	// stay zero otherwise so the default fingerprint (and output) is identical
+	// to a build without the fault layer.
+	fc := fault.Config{
+		Seed:           *faultSeed,
+		DropBatch:      *dropBatch,
+		DelayBatch:     *delayBatch,
+		AllocFail:      *allocProb,
+		DeferFailedOps: *deferOps,
+		OverheadBudget: *overheadBudg,
+	}
+	if *delayBatch > 0 {
+		fc.DelayBy = sim.Time(delayBy.Nanoseconds())
+	}
+	if *allocProb > 0 {
+		fc.AllocFailFrom = sim.Time(allocFrom.Nanoseconds())
+		fc.AllocFailUntil = sim.Time(allocUntil.Nanoseconds())
+	}
+	if *drainNode >= 0 {
+		fc.DrainNode = *drainNode
+		fc.DrainAt = sim.Time(drainAt.Nanoseconds())
+	}
+	if *slowNode >= 0 {
+		fc.SlowNode = *slowNode
+		fc.SlowFactor = *slowFactor
+	}
+	opt.Faults = fc
+
 	stopProf, err := profiling.Start(*cpuProf, *memProf)
 	if err != nil {
 		fatal(err)
@@ -146,6 +189,9 @@ func main() {
 		return
 	}
 	printResult(res, *verbose)
+	if opt.Faults.Enabled() {
+		printFaults(res)
+	}
 	fmt.Printf("\n(simulated %v in %v wall, %d events, %d steps)\n", res.Elapsed, wall.Round(time.Millisecond), res.Events, res.Steps)
 
 	if *missPth != "" && res.Trace != nil {
@@ -239,6 +285,21 @@ func printResult(r *core.Result, verbose bool) {
 			fmt.Printf("  cpu%d: %s\n", i, r.PerCPU[i].Summary())
 		}
 	}
+}
+
+// printFaults summarises what the injector did and how the kernel degraded.
+// Printed only when faults are enabled, keeping the default output identical.
+func printFaults(r *core.Result) {
+	f := r.Faults
+	fmt.Printf("  faults: alloc-fail %d  batches dropped %d delayed %d  slowed misses %d",
+		f.AllocFailures, f.BatchesDropped, f.BatchesDelayed, f.SlowedMisses)
+	if f.DrainedNode >= 0 {
+		fmt.Printf("  drained node %d (%d replicas evicted)", f.DrainedNode, f.ReplicasEvicted)
+	}
+	fmt.Println()
+	fmt.Printf("  degradation: ops deferred %d retried %d abandoned %d  batches throttled %d  alloc transient %d  vm retries %d\n",
+		r.Agg.Deferred, r.Agg.Retried, r.Agg.Abandoned, r.Agg.Throttled,
+		r.Alloc.TransientFailures, r.VM.AllocRetries)
 }
 
 // printJSON emits a machine-readable summary (per-CPU breakdowns omitted;

@@ -34,6 +34,13 @@ func TestFingerprintDistinguishesEveryOptionField(t *testing.T) {
 		"adaptive":       func(o *Options) { o.AdaptiveTrigger = true },
 		"reclaim":        func(o *Options) { o.ReclaimColdReplicas = true },
 		"closure-events": func(o *Options) { o.ClosureEvents = true },
+		"fault-seed":     func(o *Options) { o.Faults.Seed = 7 },
+		"fault-drain":    func(o *Options) { o.Faults.DrainNode = 2; o.Faults.DrainAt = sim.Millisecond },
+		"fault-drop":     func(o *Options) { o.Faults.DropBatch = 0.1 },
+		"fault-alloc":    func(o *Options) { o.Faults.AllocFail = 0.1 },
+		"fault-slow":     func(o *Options) { o.Faults.SlowNode = 1; o.Faults.SlowFactor = 2 },
+		"fault-defer":    func(o *Options) { o.Faults.DeferFailedOps = true },
+		"fault-budget":   func(o *Options) { o.Faults.OverheadBudget = 0.1 },
 	}
 	seen := map[string]string{base.Fingerprint(): "base"}
 	for name, mutate := range variants {

@@ -20,6 +20,9 @@ func (s *System) wireObservability() {
 		if s.pg != nil {
 			s.pg.Obs = s.events
 		}
+		if s.inj != nil {
+			s.inj.Obs = s.events
+		}
 	}
 	if s.opt.SampleInterval > 0 {
 		s.sampler = obs.NewSampler(s.opt.SampleInterval, s.cfg.TotalCPUs(), s.cfg.Nodes)
@@ -49,6 +52,18 @@ func (s *System) takeSample(now sim.Time) {
 		Pending: s.eng.Pending(),
 		CPU:     make([]obs.CPUSample, len(s.cpus)),
 		Node:    make([]obs.NodeSample, s.cfg.Nodes),
+	}
+	if s.sampler.Debug {
+		// Structural invariants of the kernel state: the allocator's per-node
+		// frame conservation and the VM's mapping consistency. Cheap relative
+		// to a sample interval, and they catch corruption at the tick after
+		// it happens rather than at the end of the run.
+		if err := s.allocs.CheckInvariant(); err != nil {
+			panic(fmt.Sprintf("core: allocator at %v: %v", now, err))
+		}
+		if err := s.vmm.CheckInvariants(); err != nil {
+			panic(fmt.Sprintf("core: vm at %v: %v", now, err))
+		}
 	}
 	for i, c := range s.cpus {
 		if s.sampler.Debug {

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"ccnuma/internal/directory"
+	"ccnuma/internal/fault"
 	"ccnuma/internal/kernel/alloc"
 	"ccnuma/internal/kernel/klock"
 	"ccnuma/internal/kernel/vm"
@@ -118,6 +119,10 @@ type Options struct {
 	// and for bisecting event-path regressions, at the cost of one closure
 	// allocation per event.
 	ClosureEvents bool
+	// Faults configures the deterministic fault injector (internal/fault).
+	// The zero value disables it entirely: no injector is built and the run
+	// is byte-identical to one on a build without the fault layer.
+	Faults fault.Config
 }
 
 // Fingerprint renders every field of the options into a string that
@@ -165,7 +170,14 @@ func (o Options) withDefaults(spec specLike) (Options, error) {
 	if o.Duration <= 0 {
 		return o, fmt.Errorf("core: no run duration")
 	}
+	if o.DebugChecks && o.SampleInterval <= 0 {
+		// The debug checks run on sampler ticks; give them a tick to run on.
+		o.SampleInterval = sim.Millisecond
+	}
 	if err := o.Config.Validate(); err != nil {
+		return o, err
+	}
+	if err := o.Faults.Validate(o.Config.Nodes); err != nil {
 		return o, err
 	}
 	return o, nil
@@ -225,6 +237,13 @@ type Result struct {
 	// TriggerTrace is the trigger value at each interval boundary when the
 	// adaptive extension is on.
 	TriggerTrace []uint16
+	// Faults reports what the fault injector did (DrainedNode is -1 when no
+	// injector ran or no drain fired).
+	Faults fault.Stats
+	// Failed marks a placeholder result the harness substitutes for a run
+	// that panicked or timed out under -keep-going; every measurement field
+	// is zero.
+	Failed bool
 }
 
 // NonIdle returns the machine-wide busy time.

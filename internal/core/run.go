@@ -283,6 +283,12 @@ func (s *System) start() {
 			s.pg.ResetInterval()
 		}, func() bool { return s.finished() || s.eng.Now() >= s.deadline })
 	}
+	if s.inj != nil {
+		if fc := s.inj.Config(); fc.DrainAt > 0 {
+			node := mem.NodeID(fc.DrainNode)
+			s.eng.At(fc.DrainAt, func(now sim.Time) { s.drainNode(now, node) })
+		}
+	}
 	if aff, ok := s.schedul.(*sched.Affinity); ok {
 		// Periodic load balancing (UNIX priority decay): the process
 		// movement that makes private pages remote.
@@ -328,6 +334,7 @@ func (s *System) Run() (*Result, error) {
 		ObsEvents:         s.events,
 		Series:            s.sampler,
 		Events:            s.eng.Fired(),
+		Faults:            s.inj.Stats(),
 	}
 	for _, c := range s.cpus {
 		res.Steps += c.steps

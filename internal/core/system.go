@@ -5,6 +5,7 @@ import (
 
 	"ccnuma/internal/cache"
 	"ccnuma/internal/directory"
+	"ccnuma/internal/fault"
 	"ccnuma/internal/kernel/alloc"
 	"ccnuma/internal/kernel/klock"
 	"ccnuma/internal/kernel/pager"
@@ -79,6 +80,7 @@ type System struct {
 	counters *directory.Counters
 	pg       *pager.Pager
 	mems     *directory.MemSystem
+	inj      *fault.Injector // nil unless Options.Faults enables something
 	schedul  sched.Scheduler
 	cpus     []*cpuState
 	procs    []*procState // indexed by vm ProcID (slots reused)
@@ -173,6 +175,16 @@ func NewSystem(spec *workload.Spec, opt Options) (*System, error) {
 		s.pg.Flush = s.shootdown
 		s.pg.Adaptive = opt.AdaptiveTrigger
 		s.pg.ReclaimCold = opt.ReclaimColdReplicas
+	}
+
+	if opt.Faults.Enabled() {
+		s.inj = fault.New(opt.Faults, opt.Seed, func() sim.Time { return s.eng.Now() })
+		s.allocs.FailHook = s.inj.AllocShouldFail
+		s.mems.ExtraRemote = s.inj.ExtraRemoteLatency
+		if s.pg != nil {
+			s.pg.Deferral = opt.Faults.DeferFailedOps
+			s.pg.OverheadBudget = opt.Faults.OverheadBudget
+		}
 	}
 
 	switch spec.Sched {
@@ -277,7 +289,52 @@ func (s *System) onHotBatch(batch []directory.HotRef) {
 		s.batchPool = s.batchPool[:n-1]
 	}
 	cp = append(cp, batch...)
-	s.cpus[batch[0].CPU].pagerWork = append(s.cpus[batch[0].CPU].pagerWork, cp)
+	if s.inj != nil {
+		drop, delay := s.inj.BatchFate()
+		if drop {
+			// The interrupt is lost. The pages' counters were already cleared
+			// by the directory's pending logic, so they re-heat and
+			// re-trigger later — exactly a lost interrupt's behaviour.
+			s.batchPool = append(s.batchPool, cp)
+			return
+		}
+		if delay > 0 {
+			s.eng.At(s.eng.Now()+delay, func(sim.Time) { s.queueBatch(cp) })
+			return
+		}
+	}
+	s.queueBatch(cp)
+}
+
+// queueBatch hands a pager batch to the triggering CPU's work queue.
+func (s *System) queueBatch(cp []directory.HotRef) {
+	if len(cp) == 0 {
+		return
+	}
+	s.cpus[cp[0].CPU].pagerWork = append(s.cpus[cp[0].CPU].pagerWork, cp)
+}
+
+// drainNode is the fault layer's mid-run memory drain: the node's allocator
+// goes offline, then the pager sweeps every replica off the node (master
+// copies stay resident). The sweep's kernel time lands on CPU 0, like the
+// other interval kernel work.
+func (s *System) drainNode(now sim.Time, node mem.NodeID) {
+	s.allocs.SetOffline(node, true)
+	evicted := 0
+	if s.pg != nil {
+		c0 := s.cpus[0]
+		dt, n := s.pg.DrainNode(now, c0.id, node, &c0.bd)
+		c0.extraDelay += dt
+		evicted = n
+	} else {
+		for {
+			if _, ok := s.vmm.ReclaimReplicaOn(node); !ok {
+				break
+			}
+			evicted++
+		}
+	}
+	s.inj.NoteDrain(node, evicted)
 }
 
 // shootdown implements the pager's TLB-flush hook.

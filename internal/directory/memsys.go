@@ -35,6 +35,11 @@ type node struct {
 // directory for local misses; the outbound link, the home directory, and the
 // return link for remote misses. Latency = configured minimum + queueing.
 type MemSystem struct {
+	// ExtraRemote, when set, returns additional latency for a remote miss of
+	// base latency lat between the requester's node and the home node (the
+	// fault layer's degraded-link injection). It must be deterministic.
+	ExtraRemote func(local, home mem.NodeID, lat sim.Time) sim.Time
+
 	cfg   topology.Config
 	nodes []node
 
@@ -91,6 +96,9 @@ func (m *MemSystem) Access(now sim.Time, cpu mem.CPUID, home mem.NodeID, kind me
 	wait += waitOnly(hn.netOut.Request(now+wait), m.cfg.NetLinkTime)
 	wait += waitOnly(req.netIn.Request(now+wait), m.cfg.NetLinkTime)
 	lat = m.cfg.RemoteLatency + wait
+	if m.ExtraRemote != nil {
+		lat += m.ExtraRemote(local, home, lat)
+	}
 	m.latencySum += lat
 	m.remoteLatencySum += lat
 	return lat, true

@@ -9,10 +9,20 @@
 package alloc
 
 import (
+	"errors"
 	"fmt"
 
 	"ccnuma/internal/mem"
 )
+
+// ErrNoFrames reports total exhaustion: no online node has a free frame.
+// Callers distinguish it from a transient, injected failure (ErrTransient)
+// and from the per-node failure AllocOn signals with mem.NoFrame.
+var ErrNoFrames = errors.New("alloc: no free frames on any online node")
+
+// ErrTransient reports an injected transient allocation failure (the fault
+// layer's FailHook fired). Memory exists; a retry may succeed.
+var ErrTransient = errors.New("alloc: transient allocation failure (injected)")
 
 // Purpose tags why a frame was allocated.
 type Purpose uint8
@@ -26,17 +36,24 @@ const (
 
 // Allocator manages the machine's physical frames.
 type Allocator struct {
+	// FailHook, when set, is consulted on every allocation attempt and may
+	// fail it transiently (the fault layer's injected allocation failures).
+	// It must be deterministic for reproducible runs.
+	FailHook func(n mem.NodeID) bool
+
 	nodes     int
 	perNode   int
 	free      [][]mem.PFN // per-node free stacks
 	purpose   []Purpose   // per frame, valid only while allocated
 	allocated []bool
+	offline   []bool // drained nodes: allocations refused, frames stay resident
 
 	baseInUse    int
 	replicaInUse int
 	peakBase     int
 	peakReplica  int
-	failures     uint64 // strict allocations that found the node empty
+	failures     uint64 // strict allocations that found the node empty or offline
+	transient    uint64 // allocations failed by the FailHook
 }
 
 // New builds an allocator for nodes nodes of perNode frames each.
@@ -47,6 +64,7 @@ func New(nodes, perNode int) *Allocator {
 		free:      make([][]mem.PFN, nodes),
 		purpose:   make([]Purpose, nodes*perNode),
 		allocated: make([]bool, nodes*perNode),
+		offline:   make([]bool, nodes),
 	}
 	for n := 0; n < nodes; n++ {
 		stack := make([]mem.PFN, 0, perNode)
@@ -68,38 +86,63 @@ func (a *Allocator) NodeOf(f mem.PFN) mem.NodeID {
 func (a *Allocator) FreeOn(n mem.NodeID) int { return len(a.free[n]) }
 
 // AllocOn allocates a frame strictly on node n. It returns mem.NoFrame when
-// the node's memory is exhausted (the pager records this as a No-Page
-// failure, matching the paper's behaviour of not falling back).
+// the node's memory is exhausted, offline, or the FailHook fails the attempt
+// (the pager records this as a No-Page failure, matching the paper's
+// behaviour of not falling back).
 func (a *Allocator) AllocOn(n mem.NodeID, p Purpose) mem.PFN {
-	stack := a.free[n]
-	if len(stack) == 0 {
+	if a.offline[n] || len(a.free[n]) == 0 {
 		a.failures++
 		return mem.NoFrame
 	}
+	if a.FailHook != nil && a.FailHook(n) {
+		a.failures++
+		a.transient++
+		return mem.NoFrame
+	}
+	return a.pop(n, p)
+}
+
+// AllocAnywhere allocates on node pref if possible, otherwise on the online
+// node with the most free memory. Page faults use this path. The error is
+// ErrTransient when the FailHook failed the attempt (memory exists; retry)
+// and ErrNoFrames when no online node has a free frame.
+func (a *Allocator) AllocAnywhere(pref mem.NodeID, p Purpose) (mem.PFN, error) {
+	if a.FailHook != nil && a.FailHook(pref) {
+		a.transient++
+		return mem.NoFrame, ErrTransient
+	}
+	if !a.offline[pref] && len(a.free[pref]) > 0 {
+		return a.pop(pref, p), nil
+	}
+	best, bestFree := mem.NodeID(-1), 0
+	for n := 0; n < a.nodes; n++ {
+		if !a.offline[n] && len(a.free[n]) > bestFree {
+			best, bestFree = mem.NodeID(n), len(a.free[n])
+		}
+	}
+	if best < 0 {
+		a.failures++
+		return mem.NoFrame, ErrNoFrames
+	}
+	return a.pop(best, p), nil
+}
+
+// pop removes node n's top free frame (the node must have one).
+func (a *Allocator) pop(n mem.NodeID, p Purpose) mem.PFN {
+	stack := a.free[n]
 	f := stack[len(stack)-1]
 	a.free[n] = stack[:len(stack)-1]
 	a.take(f, p)
 	return f
 }
 
-// AllocAnywhere allocates on node pref if possible, otherwise on the node
-// with the most free memory. It returns mem.NoFrame only when the whole
-// machine is out of memory. Page faults use this path.
-func (a *Allocator) AllocAnywhere(pref mem.NodeID, p Purpose) mem.PFN {
-	if len(a.free[pref]) > 0 {
-		return a.AllocOn(pref, p)
-	}
-	best, bestFree := mem.NodeID(-1), 0
-	for n := 0; n < a.nodes; n++ {
-		if len(a.free[n]) > bestFree {
-			best, bestFree = mem.NodeID(n), len(a.free[n])
-		}
-	}
-	if best < 0 {
-		return mem.NoFrame
-	}
-	return a.AllocOn(best, p)
-}
+// SetOffline marks node n drained (or restores it): while offline, AllocOn
+// on the node fails and AllocAnywhere skips it. Frames already allocated
+// stay resident and may still be freed back to the node.
+func (a *Allocator) SetOffline(n mem.NodeID, off bool) { a.offline[n] = off }
+
+// Offline reports whether node n's memory is drained.
+func (a *Allocator) Offline(n mem.NodeID) bool { return a.offline[n] }
 
 func (a *Allocator) take(f mem.PFN, p Purpose) {
 	if a.allocated[f] {
@@ -160,9 +203,10 @@ func (a *Allocator) UsageOn(n mem.NodeID) (free, base, replica int) {
 }
 
 // Pressure reports whether node n is under memory pressure: fewer than
-// lowWater frames free. The policy stops replicating onto pressured nodes.
+// lowWater frames free, or the node drained entirely. The policy stops
+// replicating onto pressured nodes.
 func (a *Allocator) Pressure(n mem.NodeID, lowWater int) bool {
-	return len(a.free[n]) < lowWater
+	return a.offline[n] || len(a.free[n]) < lowWater
 }
 
 // Stats describes allocator usage.
@@ -172,17 +216,22 @@ type Stats struct {
 	PeakBase     int
 	PeakReplica  int
 	Failures     uint64
+	// TransientFailures counts allocations failed by the fault layer's
+	// FailHook (a subset of Failures only on the AllocOn path; AllocAnywhere
+	// transients are counted here alone).
+	TransientFailures uint64
 }
 
 // Snapshot returns usage statistics. ReplicaOverhead (Section 7.2.3) is
 // PeakReplica / PeakBase.
 func (a *Allocator) Snapshot() Stats {
 	return Stats{
-		BaseInUse:    a.baseInUse,
-		ReplicaInUse: a.replicaInUse,
-		PeakBase:     a.peakBase,
-		PeakReplica:  a.peakReplica,
-		Failures:     a.failures,
+		BaseInUse:         a.baseInUse,
+		ReplicaInUse:      a.replicaInUse,
+		PeakBase:          a.peakBase,
+		PeakReplica:       a.peakReplica,
+		Failures:          a.failures,
+		TransientFailures: a.transient,
 	}
 }
 

@@ -1,6 +1,7 @@
 package alloc
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -43,16 +44,88 @@ func TestAllocAnywhereFallsBack(t *testing.T) {
 	a := New(2, 2)
 	a.AllocOn(0, Base)
 	a.AllocOn(0, Base)
-	f := a.AllocAnywhere(0, Base)
-	if f == mem.NoFrame {
-		t.Fatal("fallback failed with free frames on node 1")
+	f, err := a.AllocAnywhere(0, Base)
+	if err != nil {
+		t.Fatalf("fallback failed with free frames on node 1: %v", err)
 	}
 	if a.NodeOf(f) != 1 {
 		t.Fatalf("fallback frame on node %d, want 1", a.NodeOf(f))
 	}
 	a.AllocAnywhere(1, Base)
-	if a.AllocAnywhere(0, Base) != mem.NoFrame {
+	if _, err := a.AllocAnywhere(0, Base); err == nil {
 		t.Fatal("allocation succeeded on an empty machine")
+	}
+}
+
+// Regression: exhausting every node must yield the typed ErrNoFrames, not a
+// bare failure, so callers can tell "machine full" from "retry later".
+func TestAllocAnywhereErrNoFrames(t *testing.T) {
+	a := New(2, 2)
+	for i := 0; i < 4; i++ {
+		if _, err := a.AllocAnywhere(mem.NodeID(i%2), Base); err != nil {
+			t.Fatalf("alloc %d failed early: %v", i, err)
+		}
+	}
+	_, err := a.AllocAnywhere(0, Base)
+	if !errors.Is(err, ErrNoFrames) {
+		t.Fatalf("exhausted machine returned %v, want ErrNoFrames", err)
+	}
+	if errors.Is(err, ErrTransient) {
+		t.Fatal("ErrNoFrames must not match ErrTransient")
+	}
+	if a.Snapshot().Failures != 1 {
+		t.Fatalf("failures = %d, want 1", a.Snapshot().Failures)
+	}
+}
+
+func TestFailHookTransient(t *testing.T) {
+	a := New(2, 4)
+	fail := true
+	a.FailHook = func(mem.NodeID) bool { return fail }
+
+	if _, err := a.AllocAnywhere(0, Base); !errors.Is(err, ErrTransient) {
+		t.Fatal("FailHook did not surface as ErrTransient")
+	}
+	if a.AllocOn(0, Base) != mem.NoFrame {
+		t.Fatal("FailHook did not fail AllocOn")
+	}
+	s := a.Snapshot()
+	if s.TransientFailures != 2 {
+		t.Fatalf("transient failures = %d, want 2", s.TransientFailures)
+	}
+	// AllocOn counts its hook failure in Failures too; AllocAnywhere does not
+	// (memory exists, nothing was actually exhausted).
+	if s.Failures != 1 {
+		t.Fatalf("failures = %d, want 1", s.Failures)
+	}
+
+	fail = false
+	if _, err := a.AllocAnywhere(0, Base); err != nil {
+		t.Fatalf("alloc failed after hook cleared: %v", err)
+	}
+}
+
+func TestOfflineNode(t *testing.T) {
+	a := New(2, 2)
+	a.SetOffline(0, true)
+	if !a.Offline(0) || a.Offline(1) {
+		t.Fatal("offline flags wrong")
+	}
+	if a.AllocOn(0, Base) != mem.NoFrame {
+		t.Fatal("allocated on an offline node")
+	}
+	f, err := a.AllocAnywhere(0, Base)
+	if err != nil {
+		t.Fatalf("fallback off the offline node failed: %v", err)
+	}
+	if a.NodeOf(f) != 1 {
+		t.Fatalf("AllocAnywhere placed frame on node %d, want 1", a.NodeOf(f))
+	}
+	// Frames already resident can still be freed back while offline.
+	a.Free(f)
+	a.SetOffline(0, false)
+	if a.AllocOn(0, Base) == mem.NoFrame {
+		t.Fatal("node did not come back online")
 	}
 }
 
@@ -110,6 +183,32 @@ func TestPressure(t *testing.T) {
 	}
 }
 
+// Pressure boundaries: free == lowWater is not pressured (strict less-than),
+// lowWater 0 never pressures an online node, and a drained node is always
+// pressured regardless of free memory.
+func TestPressureBoundaries(t *testing.T) {
+	a := New(1, 10)
+	for i := 0; i < 6; i++ {
+		a.AllocOn(0, Base)
+	}
+	if a.Pressure(0, 4) {
+		t.Fatal("free == lowWater reported as pressure")
+	}
+	if !a.Pressure(0, 5) {
+		t.Fatal("free < lowWater not reported as pressure")
+	}
+	if a.Pressure(0, 0) {
+		t.Fatal("lowWater 0 pressured an online node")
+	}
+	a.SetOffline(0, true)
+	if !a.Pressure(0, 0) {
+		t.Fatal("drained node not under pressure at lowWater 0")
+	}
+	if !a.Pressure(0, 4) {
+		t.Fatal("drained node with free frames not under pressure")
+	}
+}
+
 // Property: any interleaving of allocs and frees preserves
 // free+allocated == capacity and never hands out the same frame twice.
 func TestAllocatorInvariantProperty(t *testing.T) {
@@ -123,8 +222,8 @@ func TestAllocatorInvariantProperty(t *testing.T) {
 				if r.Bool(0.3) {
 					p = Replica
 				}
-				f := a.AllocAnywhere(mem.NodeID(r.Intn(3)), p)
-				if f != mem.NoFrame {
+				f, err := a.AllocAnywhere(mem.NodeID(r.Intn(3)), p)
+				if err == nil {
 					for _, x := range live {
 						if x == f {
 							return false // double allocation

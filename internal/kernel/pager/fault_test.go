@@ -1,0 +1,259 @@
+package pager
+
+import (
+	"testing"
+
+	"ccnuma/internal/directory"
+	"ccnuma/internal/kernel/alloc"
+	"ccnuma/internal/kernel/vm"
+	"ccnuma/internal/mem"
+	"ccnuma/internal/policy"
+	"ccnuma/internal/sim"
+)
+
+// exhaust empties node n's free list, returning the frames taken so a test
+// can hand memory back later.
+func (f *fixture) exhaust(n mem.NodeID) []mem.PFN {
+	var taken []mem.PFN
+	for f.alloc.FreeOn(n) > 0 {
+		taken = append(taken, f.alloc.AllocOn(n, alloc.Base))
+	}
+	return taken
+}
+
+// With Deferral on, an operation whose allocation fails waits in the queue
+// instead of being dropped, and succeeds on a later interrupt once memory
+// returns.
+func TestDeferralRetriesAfterAllocFailure(t *testing.T) {
+	f := newFixture(t, policy.Base())
+	f.pg.Deferral = true
+	f.touch(t, 3, 0)
+	taken := f.exhaust(5)
+
+	f.heat(3, 5, 200, false)
+	f.pg.HandleBatch(0, 5, []directory.HotRef{{Page: 3, CPU: 5}}, &f.bd)
+	if f.bd.Deferred != 1 {
+		t.Fatalf("deferred = %d, want 1", f.bd.Deferred)
+	}
+	if f.pg.Actions.NoPage != 0 {
+		t.Fatalf("deferred op recorded as No-Page: %+v", f.pg.Actions)
+	}
+	if f.vmm.MasterNode(3) != 0 {
+		t.Fatal("page moved despite allocation failure")
+	}
+
+	// Memory returns and a later, unrelated interrupt arrives after the
+	// backoff: the retry piggybacks on it and the migration completes.
+	f.alloc.Free(taken[0])
+	f.touch(t, 9, 0)
+	f.heat(9, 1, 200, false)
+	f.pg.HandleBatch(sim.Millisecond, 1, []directory.HotRef{{Page: 9, CPU: 1}}, &f.bd)
+	if f.bd.Retried != 1 {
+		t.Fatalf("retried = %d, want 1", f.bd.Retried)
+	}
+	if f.vmm.MasterNode(3) != 5 {
+		t.Fatal("retry did not complete the migration")
+	}
+	if f.pg.Actions.Migrations != 2 { // the retried page plus the carrier batch's own
+		t.Fatalf("actions = %+v", f.pg.Actions)
+	}
+	if len(f.pg.deferred) != 0 {
+		t.Fatalf("queue still holds %d ops", len(f.pg.deferred))
+	}
+	if err := f.vmm.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// An operation that keeps failing is abandoned after maxDeferAttempts and
+// only then reaches the Table-4 accounting as No-Page.
+func TestDeferralAbandonsAfterMaxAttempts(t *testing.T) {
+	f := newFixture(t, policy.Base())
+	f.pg.Deferral = true
+	f.touch(t, 3, 0)
+	f.exhaust(5)
+
+	f.heat(3, 5, 200, false)
+	f.pg.HandleBatch(0, 5, []directory.HotRef{{Page: 3, CPU: 5}}, &f.bd)
+
+	// Each later interrupt (a fresh carrier page each time, so no second
+	// deferral for the same target piles up) carries a retry that fails again
+	// and re-defers, until attempt maxDeferAttempts abandons.
+	now := 10 * sim.Millisecond // past any backoff
+	for i := 0; i < maxDeferAttempts-1; i++ {
+		carrier := mem.GPage(10 + i)
+		f.touch(t, carrier, 0)
+		f.pg.HandleBatch(now, 1, []directory.HotRef{{Page: carrier, CPU: 1}}, &f.bd)
+		now += 10 * sim.Millisecond
+	}
+	if f.bd.Abandoned != 1 {
+		t.Fatalf("abandoned = %d, want 1 (deferred %d retried %d)",
+			f.bd.Abandoned, f.bd.Deferred, f.bd.Retried)
+	}
+	if f.bd.Deferred != uint64(maxDeferAttempts-1) {
+		t.Fatalf("deferred = %d, want %d", f.bd.Deferred, maxDeferAttempts-1)
+	}
+	if f.pg.Actions.NoPage != 1 {
+		t.Fatalf("abandonment not recorded as No-Page: %+v", f.pg.Actions)
+	}
+	if len(f.pg.deferred) != 0 {
+		t.Fatalf("queue still holds %d ops", len(f.pg.deferred))
+	}
+}
+
+// A deferred operation whose page changed state before the retry resolves as
+// a cheap no-op: the retry re-runs the decision tree, and a page that was
+// wired in the meantime is left alone instead of retrying a stale plan.
+func TestDeferredRetryReevaluatesPageState(t *testing.T) {
+	f := newFixture(t, policy.Base())
+	f.pg.Deferral = true
+	f.touch(t, 3, 0)
+	f.touch(t, 9, 0)
+	f.exhaust(5)
+
+	f.heat(3, 5, 200, false)
+	f.pg.HandleBatch(0, 5, []directory.HotRef{{Page: 3, CPU: 5}}, &f.bd)
+	if f.bd.Deferred != 1 {
+		t.Fatalf("deferred = %d, want 1", f.bd.Deferred)
+	}
+
+	// The page gets wired while it waits; an unrelated interrupt carries the
+	// retry.
+	f.vmm.Page(3).Flags |= vm.Wired
+	f.heat(9, 1, 200, false)
+	f.pg.HandleBatch(sim.Millisecond, 1, []directory.HotRef{{Page: 9, CPU: 1}}, &f.bd)
+	if f.bd.Retried != 1 {
+		t.Fatalf("retried = %d, want 1", f.bd.Retried)
+	}
+	if f.bd.Abandoned != 0 || len(f.pg.deferred) != 0 {
+		t.Fatalf("wired retry not resolved: abandoned %d, queued %d",
+			f.bd.Abandoned, len(f.pg.deferred))
+	}
+	if f.vmm.MasterNode(3) != 0 {
+		t.Fatal("wired page moved anyway")
+	}
+	if f.pg.Actions.ByReason[policy.ReasonWired] != 1 {
+		t.Fatalf("reason accounting: %+v", f.pg.Actions.ByReason)
+	}
+}
+
+// Without Deferral the old behaviour is unchanged: the failure is No-Page
+// immediately and nothing queues.
+func TestNoDeferralWithoutFlag(t *testing.T) {
+	f := newFixture(t, policy.Base())
+	f.touch(t, 3, 0)
+	f.exhaust(5)
+	f.heat(3, 5, 200, false)
+	f.pg.HandleBatch(0, 5, []directory.HotRef{{Page: 3, CPU: 5}}, &f.bd)
+	if f.pg.Actions.NoPage != 1 || f.bd.Deferred != 0 || len(f.pg.deferred) != 0 {
+		t.Fatalf("deferral active without the flag: %+v, deferred %d, queued %d",
+			f.pg.Actions, f.bd.Deferred, len(f.pg.deferred))
+	}
+}
+
+// Above the overhead budget, a batch is shed at interrupt-entry cost: no
+// decisions run, counters clear so the pages can re-trigger, and the shed is
+// accounted under ReasonThrottled.
+func TestOverheadBudgetShedsBatch(t *testing.T) {
+	f := newFixture(t, policy.Base())
+	f.pg.OverheadBudget = 1e-9 // effectively: any prior overhead throttles
+	f.touch(t, 3, 0)
+
+	// First batch at now=0 is never throttled (no elapsed time to budget
+	// against) and accumulates pager overhead.
+	f.heat(3, 5, 200, false)
+	dt := f.pg.HandleBatch(0, 5, []directory.HotRef{{Page: 3, CPU: 5}}, &f.bd)
+	if dt <= f.cfg.Kernel.InterruptEntry {
+		t.Fatal("first batch was shed")
+	}
+	if f.bd.Throttled != 0 {
+		t.Fatalf("throttled = %d before any budget check", f.bd.Throttled)
+	}
+
+	f.touch(t, 9, 0)
+	f.heat(9, 5, 200, false)
+	dt = f.pg.HandleBatch(sim.Microsecond, 5, []directory.HotRef{{Page: 9, CPU: 5}}, &f.bd)
+	if dt != f.cfg.Kernel.InterruptEntry {
+		t.Fatalf("shed batch cost %v, want bare interrupt entry %v", dt, f.cfg.Kernel.InterruptEntry)
+	}
+	if f.bd.Throttled != 1 {
+		t.Fatalf("throttled = %d, want 1", f.bd.Throttled)
+	}
+	if f.pg.Actions.ByReason[policy.ReasonThrottled] != 1 {
+		t.Fatalf("reason accounting: %+v", f.pg.Actions.ByReason)
+	}
+	if f.vmm.MasterNode(9) != 0 {
+		t.Fatal("shed batch still acted")
+	}
+	if f.counters.Miss(9, 5) != 0 {
+		t.Fatal("shed batch left counters set; page could never re-trigger")
+	}
+}
+
+// DrainNode sweeps every replica off the node under one flush, leaving master
+// copies resident.
+func TestDrainNodeEvictsReplicas(t *testing.T) {
+	f := newFixture(t, policy.Base())
+	f.touch(t, 3, 0)
+	f.touch(t, 9, 0)
+	for _, p := range []mem.GPage{3, 9} {
+		rep := f.alloc.AllocOn(2, alloc.Replica)
+		if err := f.vmm.Replicate(p, rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.alloc.SetOffline(2, true)
+
+	dt, evicted := f.pg.DrainNode(0, 0, 2, &f.bd)
+	if evicted != 2 {
+		t.Fatalf("evicted %d replicas, want 2", evicted)
+	}
+	if dt <= 0 {
+		t.Fatal("drain charged no kernel time")
+	}
+	if f.flushes != 1 {
+		t.Fatalf("flushes = %d, want one for the whole sweep", f.flushes)
+	}
+	for _, p := range []mem.GPage{3, 9} {
+		if f.vmm.HasReplicaOn(p, 2) {
+			t.Fatalf("page %d still replicated on the drained node", p)
+		}
+		if f.vmm.MasterNode(p) != 0 {
+			t.Fatalf("page %d master moved by the drain", p)
+		}
+	}
+	if _, _, replica := f.alloc.UsageOn(2); replica != 0 {
+		t.Fatalf("%d replica frames still allocated on the drained node", replica)
+	}
+	if err := f.vmm.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A cold-replica reclaim racing a drain must not collapse the surviving copy
+// onto the drained node: collapseTarget redirects to the master's node.
+func TestReclaimColdAvoidsDrainedNode(t *testing.T) {
+	f := newFixture(t, policy.Base())
+	f.touch(t, 3, 0) // master on node 0
+	rep := f.alloc.AllocOn(2, alloc.Replica)
+	if err := f.vmm.Replicate(3, rep); err != nil {
+		t.Fatal(err)
+	}
+	// Node 2 drains; the sweep hasn't reached page 3 yet when a reclaim pass
+	// initiated by node 2's CPU finds the page cold.
+	f.alloc.SetOffline(2, true)
+
+	f.pg.ReclaimColdReplicas(0, 2, &f.bd)
+	if f.vmm.HasReplicaOn(3, 2) {
+		t.Fatal("cold replica survived on the drained node")
+	}
+	if f.vmm.MasterNode(3) != 0 {
+		t.Fatalf("surviving copy on node %d, want the master's node 0", f.vmm.MasterNode(3))
+	}
+	if f.alloc.Allocated(rep) {
+		t.Fatal("replica frame not freed")
+	}
+	if err := f.vmm.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -55,6 +55,16 @@ type Pager struct {
 	// bounding the replication space overhead (Section 7.2.3 reports the
 	// kernel "preferentially reclaiming replicated pages").
 	ReclaimCold bool
+	// Deferral enables the graceful-degradation response to allocation
+	// failure: instead of dropping an operation whose destination node had no
+	// frame, it enters a bounded queue and retries with exponential backoff
+	// on later pager interrupts (set from fault.Config.DeferFailedOps).
+	Deferral bool
+	// OverheadBudget, when positive, sheds whole hot-page batches at
+	// interrupt-entry cost while the pager's accumulated overhead on this CPU
+	// exceeds the given fraction of elapsed virtual time (set from
+	// fault.Config.OverheadBudget).
+	OverheadBudget float64
 
 	// Obs, when enabled, receives the pager's typed events: hot-page
 	// interrupts, policy decisions (with the counters that drove them), TLB
@@ -79,6 +89,11 @@ type Pager struct {
 	mappersBuf []mem.ProcID
 	reclaimBuf []mem.GPage
 	onePage    [1]mem.GPage
+
+	// deferred is the bounded queue of operations awaiting retry after a
+	// failed allocation; retryScratch is the per-batch due-list buffer.
+	deferred     []deferredOp
+	retryScratch []deferredOp
 }
 
 // New builds a pager. Flush must be set before the first hot batch arrives.
@@ -127,6 +142,23 @@ func (pg *Pager) acquireOp() *pendingOp {
 // dropOp discards the most recently acquired op slot.
 func (pg *Pager) dropOp() { pg.ops = pg.ops[:len(pg.ops)-1] }
 
+// deferredOp is one deferral-queue entry: a hot reference whose migration or
+// replication failed allocation and waits to retry.
+type deferredOp struct {
+	ref      directory.HotRef
+	attempts int
+	nextTry  sim.Time
+}
+
+// Graceful-degradation tuning (active only with Deferral): an operation
+// retries at most maxDeferAttempts times with exponential backoff starting at
+// deferBackoffBase, and at most maxDeferred operations wait at once.
+const (
+	maxDeferred      = 64
+	maxDeferAttempts = 4
+	deferBackoffBase = 250 * sim.Microsecond
+)
+
 // HandleBatch services a pager interrupt on cpu at virtual time now for the
 // given hot pages. It performs all decisions and VM changes, charges
 // simulated lock waits, and returns the total handler time, recording the
@@ -136,13 +168,41 @@ func (pg *Pager) HandleBatch(now sim.Time, cpu mem.CPUID, batch []directory.HotR
 		return 0
 	}
 	k := pg.cfg.Kernel
+
+	// Kernel-overhead budget: while the pager's accumulated share of this
+	// CPU's time exceeds the budget, the whole batch is shed at
+	// interrupt-entry cost. Counters clear, so the pages stay eligible and
+	// re-trigger once the pager has caught up.
+	if pg.OverheadBudget > 0 && pg.throttled(now, bd) {
+		bd.Pager.Add(stats.FnIntrProc, k.InterruptEntry)
+		for _, h := range batch {
+			pg.counters.ClearPage(h.Page)
+			pg.Actions.Record(policy.Decision{Action: policy.DoNothing, Reason: policy.ReasonThrottled}, false)
+		}
+		bd.Throttled += uint64(len(batch))
+		if pg.Obs.On() {
+			e := obs.NewEvent(obs.KindPolicyThrottled)
+			e.At = now
+			e.CPU = int(cpu)
+			e.Node = int(pg.cfg.NodeOf(cpu))
+			e.N = len(batch)
+			pg.Obs.Emit(e)
+		}
+		pg.intervalOverhead += k.InterruptEntry
+		return k.InterruptEntry
+	}
+
+	// Deferred operations whose backoff expired piggyback on this interrupt.
+	retries := pg.takeDueRetries(now)
+	total := len(batch) + len(retries)
+
 	t := now
 	start := now
 
 	// Step 2: interrupt entry, amortized across the batch.
 	t += k.InterruptEntry
 	bd.Pager.Add(stats.FnIntrProc, k.InterruptEntry)
-	intrShare := k.InterruptEntry / sim.Time(len(batch))
+	intrShare := k.InterruptEntry / sim.Time(total)
 
 	if pg.Obs.On() {
 		e := obs.NewEvent(obs.KindHotPageInterrupt)
@@ -151,109 +211,19 @@ func (pg *Pager) HandleBatch(now sim.Time, cpu mem.CPUID, batch []directory.HotR
 		e.Node = int(pg.cfg.NodeOf(cpu))
 		e.Trigger = pg.params.Trigger
 		e.Sharing = pg.params.Sharing
-		e.N = len(batch)
+		e.N = total
 		pg.Obs.Emit(e)
 	}
 
 	pg.ops = pg.ops[:0]
 	pg.flushPages = pg.flushPages[:0]
 
+	for i := range retries {
+		bd.Retried++
+		t = pg.handleRef(retries[i].ref, &retries[i], t, intrShare, bd)
+	}
 	for _, h := range batch {
-		op := pg.acquireOp()
-		op.ref, op.latency = h, intrShare
-
-		// Step 3: policy decision under the page lock.
-		wait := pg.locks.PageLock(uint32(h.Page)).Acquire(t, k.PageLockHold)
-		dt := wait + k.PolicyDecision
-		t += dt
-		bd.Pager.Add(stats.FnPolicyDecision, dt)
-		op.latency += dt
-
-		op.decision = pg.decide(h)
-		if pg.Obs.On() {
-			// Observe before ClearPage wipes the counters the branch read.
-			policy.ObserveDecision(pg.Obs, t, int(h.CPU), int(pg.cfg.NodeOf(h.CPU)),
-				int64(h.Page), pg.params, pg.counters.MissRow(h.Page),
-				pg.counters.Writes(h.Page), pg.counters.GroupOf(h.CPU), op.decision)
-		}
-		switch op.decision.Action {
-		case policy.DoNothing:
-			pg.counters.ClearPage(h.Page)
-			pg.Actions.Record(op.decision, false)
-			pg.dropOp()
-			continue
-		case policy.RemapPage:
-			node := pg.cfg.NodeOf(h.CPU)
-			op.remapped = pg.staleMappers(h.Page, node)
-			if len(op.remapped) == 0 {
-				pg.Actions.Record(policy.Decision{Action: policy.DoNothing, Reason: policy.ReasonLocal}, false)
-				pg.dropOp()
-				continue
-			}
-			// Remap is cheap: pte updates plus the shared flush.
-			for _, pid := range op.remapped {
-				pg.vm.Remap(pid, h.Page, node)
-			}
-			dt = k.PageLockHold
-			t += dt
-			bd.Pager.Add(stats.FnLinksMapping, dt)
-			op.latency += dt
-			pg.flushPages = append(pg.flushPages, h.Page)
-			pg.counters.ClearPage(h.Page)
-			pg.Actions.Record(op.decision, false)
-			pg.vm.Page(h.Page).TransitUntil = t
-			pg.dropOp()
-			continue
-		case policy.MigratePage:
-			op.kind = stats.OpMigrate
-		case policy.ReplicatePage:
-			op.kind = stats.OpReplicate
-		}
-
-		// Step 4: allocate the destination frames. The global free list is
-		// protected by memlock. A replication allocates one frame on every
-		// target node (the triggering node plus every node whose counter
-		// crossed the sharing threshold).
-		targets := pg.targetNodes(h, op.decision.Action)
-		pg.counters.ClearPage(h.Page)
-		wait = pg.locks.Memlock.Acquire(t, k.MemlockHold)
-		for _, n := range targets {
-			f := pg.allocOn(n, op.decision.Action)
-			dt = wait + k.PageAllocBase
-			wait = 0 // charge the lock wait once
-			t += dt
-			bd.Pager.Add(stats.FnPageAlloc, dt)
-			op.latency += dt
-			bd.Pager.AddOpStep(op.kind, stats.FnPageAlloc, dt)
-			if f == mem.NoFrame {
-				pg.Actions.Record(op.decision, true)
-				continue
-			}
-			op.newFrames = append(op.newFrames, f)
-		}
-		bd.Pager.AddOpStep(op.kind, stats.FnIntrProc, intrShare)
-		bd.Pager.AddOpStep(op.kind, stats.FnPolicyDecision, k.PolicyDecision)
-		if len(op.newFrames) == 0 {
-			pg.dropOp()
-			continue
-		}
-
-		// Step 5: link the new pages and mark ptes transient. Migration
-		// rewrites the physical-page hash table under memlock; replication
-		// queues the replicas on the master under the page lock alone.
-		if op.decision.Action == policy.MigratePage {
-			wait = pg.locks.Memlock.Acquire(t, k.MemlockHold)
-			dt = wait + k.LinkMapMigr
-		} else {
-			wait = pg.locks.PageLock(uint32(h.Page)).Acquire(t, k.PageLockHold)
-			dt = wait + sim.Time(len(op.newFrames))*k.LinkMapRepl
-		}
-		t += dt
-		bd.Pager.Add(stats.FnLinksMapping, dt)
-		bd.Pager.AddOpStep(op.kind, stats.FnLinksMapping, dt)
-		op.latency += dt
-
-		pg.flushPages = append(pg.flushPages, h.Page)
+		t = pg.handleRef(h, nil, t, intrShare, bd)
 	}
 
 	// Step 6: one TLB flush for the whole batch.
@@ -323,6 +293,193 @@ func (pg *Pager) HandleBatch(now sim.Time, cpu mem.CPUID, batch []directory.HotR
 
 	pg.intervalOverhead += t - start
 	return t - start
+}
+
+// handleRef runs steps 3-5 of Figure 2 for one hot reference at time t,
+// appending to the batch's op and flush lists, and returns the advanced
+// clock. def is non-nil when the reference is a deferred retry (the policy
+// re-evaluates against current counters; a page that moved or cooled since
+// the failure resolves as a cheap no-op).
+func (pg *Pager) handleRef(h directory.HotRef, def *deferredOp, t, intrShare sim.Time, bd *stats.Breakdown) sim.Time {
+	k := pg.cfg.Kernel
+	op := pg.acquireOp()
+	op.ref, op.latency = h, intrShare
+
+	// Step 3: policy decision under the page lock.
+	wait := pg.locks.PageLock(uint32(h.Page)).Acquire(t, k.PageLockHold)
+	dt := wait + k.PolicyDecision
+	t += dt
+	bd.Pager.Add(stats.FnPolicyDecision, dt)
+	op.latency += dt
+
+	op.decision = pg.decide(h)
+	if pg.Obs.On() {
+		// Observe before ClearPage wipes the counters the branch read.
+		policy.ObserveDecision(pg.Obs, t, int(h.CPU), int(pg.cfg.NodeOf(h.CPU)),
+			int64(h.Page), pg.params, pg.counters.MissRow(h.Page),
+			pg.counters.Writes(h.Page), pg.counters.GroupOf(h.CPU), op.decision)
+	}
+	switch op.decision.Action {
+	case policy.DoNothing:
+		pg.counters.ClearPage(h.Page)
+		pg.Actions.Record(op.decision, false)
+		pg.dropOp()
+		return t
+	case policy.RemapPage:
+		node := pg.cfg.NodeOf(h.CPU)
+		op.remapped = pg.staleMappers(h.Page, node)
+		if len(op.remapped) == 0 {
+			pg.Actions.Record(policy.Decision{Action: policy.DoNothing, Reason: policy.ReasonLocal}, false)
+			pg.dropOp()
+			return t
+		}
+		// Remap is cheap: pte updates plus the shared flush.
+		for _, pid := range op.remapped {
+			pg.vm.Remap(pid, h.Page, node)
+		}
+		dt = k.PageLockHold
+		t += dt
+		bd.Pager.Add(stats.FnLinksMapping, dt)
+		op.latency += dt
+		pg.flushPages = append(pg.flushPages, h.Page)
+		pg.counters.ClearPage(h.Page)
+		pg.Actions.Record(op.decision, false)
+		pg.vm.Page(h.Page).TransitUntil = t
+		pg.dropOp()
+		return t
+	case policy.MigratePage:
+		op.kind = stats.OpMigrate
+	case policy.ReplicatePage:
+		op.kind = stats.OpReplicate
+	}
+
+	// Step 4: allocate the destination frames. The global free list is
+	// protected by memlock. A replication allocates one frame on every
+	// target node (the triggering node plus every node whose counter
+	// crossed the sharing threshold).
+	targets := pg.targetNodes(h, op.decision.Action)
+	pg.counters.ClearPage(h.Page)
+	wait = pg.locks.Memlock.Acquire(t, k.MemlockHold)
+	failed := 0
+	for _, n := range targets {
+		f := pg.allocOn(n, op.decision.Action)
+		dt = wait + k.PageAllocBase
+		wait = 0 // charge the lock wait once
+		t += dt
+		bd.Pager.Add(stats.FnPageAlloc, dt)
+		op.latency += dt
+		bd.Pager.AddOpStep(op.kind, stats.FnPageAlloc, dt)
+		if f == mem.NoFrame {
+			failed++
+			if !pg.Deferral {
+				pg.Actions.Record(op.decision, true)
+			}
+			continue
+		}
+		op.newFrames = append(op.newFrames, f)
+	}
+	bd.Pager.AddOpStep(op.kind, stats.FnIntrProc, intrShare)
+	bd.Pager.AddOpStep(op.kind, stats.FnPolicyDecision, k.PolicyDecision)
+	if pg.Deferral && failed > 0 && len(op.newFrames) > 0 {
+		// Partial success: the made copies proceed and the failed targets
+		// count as No-Page — the page re-heats on the unserved nodes and
+		// retriggers naturally, so deferring would double-serve it.
+		for i := 0; i < failed; i++ {
+			pg.Actions.Record(op.decision, true)
+		}
+	}
+	if len(op.newFrames) == 0 {
+		if pg.Deferral && failed > 0 {
+			pg.deferOp(h, def, op.decision, t, bd)
+		}
+		pg.dropOp()
+		return t
+	}
+
+	// Step 5: link the new pages and mark ptes transient. Migration
+	// rewrites the physical-page hash table under memlock; replication
+	// queues the replicas on the master under the page lock alone.
+	if op.decision.Action == policy.MigratePage {
+		wait = pg.locks.Memlock.Acquire(t, k.MemlockHold)
+		dt = wait + k.LinkMapMigr
+	} else {
+		wait = pg.locks.PageLock(uint32(h.Page)).Acquire(t, k.PageLockHold)
+		dt = wait + sim.Time(len(op.newFrames))*k.LinkMapRepl
+	}
+	t += dt
+	bd.Pager.Add(stats.FnLinksMapping, dt)
+	bd.Pager.AddOpStep(op.kind, stats.FnLinksMapping, dt)
+	op.latency += dt
+
+	pg.flushPages = append(pg.flushPages, h.Page)
+	return t
+}
+
+// deferOp queues a fully failed operation for retry, or abandons it when its
+// attempts or the queue's capacity are exhausted. Only an abandonment reaches
+// the Table-4 accounting (as No-Page); a deferred operation is recorded when
+// it finally resolves.
+func (pg *Pager) deferOp(h directory.HotRef, def *deferredOp, decision policy.Decision, now sim.Time, bd *stats.Breakdown) {
+	attempts := 1
+	if def != nil {
+		attempts = def.attempts + 1
+	}
+	if attempts >= maxDeferAttempts || (def == nil && len(pg.deferred) >= maxDeferred) {
+		bd.Abandoned++
+		pg.Actions.Record(decision, true)
+		if pg.Obs.On() {
+			e := obs.NewEvent(obs.KindOpAbandoned)
+			e.At = now
+			e.CPU = int(h.CPU)
+			e.Node = int(pg.cfg.NodeOf(h.CPU))
+			e.Page = int64(h.Page)
+			e.N = attempts
+			pg.Obs.Emit(e)
+		}
+		return
+	}
+	pg.deferred = append(pg.deferred, deferredOp{
+		ref:      h,
+		attempts: attempts,
+		nextTry:  now + deferBackoffBase<<(attempts-1),
+	})
+	bd.Deferred++
+	if pg.Obs.On() {
+		e := obs.NewEvent(obs.KindOpDeferred)
+		e.At = now
+		e.CPU = int(h.CPU)
+		e.Node = int(pg.cfg.NodeOf(h.CPU))
+		e.Page = int64(h.Page)
+		e.N = attempts
+		pg.Obs.Emit(e)
+	}
+}
+
+// takeDueRetries removes and returns the deferred operations whose backoff
+// expired by now. The returned slice is the pager's scratch buffer, valid
+// until the next batch.
+func (pg *Pager) takeDueRetries(now sim.Time) []deferredOp {
+	if !pg.Deferral || len(pg.deferred) == 0 {
+		return nil
+	}
+	due := pg.retryScratch[:0]
+	keep := pg.deferred[:0]
+	for _, d := range pg.deferred {
+		if d.nextTry <= now {
+			due = append(due, d)
+		} else {
+			keep = append(keep, d)
+		}
+	}
+	pg.deferred = keep
+	pg.retryScratch = due
+	return due
+}
+
+// throttled reports whether the overhead budget is currently exceeded on the
+// CPU owning bd.
+func (pg *Pager) throttled(now sim.Time, bd *stats.Breakdown) bool {
+	return now > 0 && float64(bd.Pager.Total()) > pg.OverheadBudget*float64(now)
 }
 
 // observeShootdown emits the TLBShootdown event: n pages flushed, with the
@@ -421,10 +578,24 @@ func (pg *Pager) allocOn(node mem.NodeID, a policy.Action) mem.PFN {
 		purpose = alloc.Replica
 	}
 	f := pg.alloc.AllocOn(node, purpose)
-	if f == mem.NoFrame && a == policy.MigratePage && pg.vm.ReclaimReplicaOn(node) {
-		f = pg.alloc.AllocOn(node, purpose)
+	if f == mem.NoFrame && a == policy.MigratePage {
+		if _, ok := pg.vm.ReclaimReplicaOn(node); ok {
+			f = pg.alloc.AllocOn(node, purpose)
+		}
 	}
 	return f
+}
+
+// collapseTarget picks the node whose copy survives a collapse initiated by
+// cpu: normally cpu's own node, but when that node's memory is drained the
+// master's node — keeping the survivor on an offline node would defeat the
+// drain's eviction sweep.
+func (pg *Pager) collapseTarget(cpu mem.CPUID, p mem.GPage) mem.NodeID {
+	n := pg.cfg.NodeOf(cpu)
+	if pg.alloc.Offline(n) {
+		return pg.vm.MasterNode(p)
+	}
+	return n
 }
 
 // CollapseWrite services a write trap to a replicated page (the pfault
@@ -440,7 +611,7 @@ func (pg *Pager) CollapseWrite(now sim.Time, cpu mem.CPUID, page mem.GPage, bd *
 	t += dt
 	bd.Pager.Add(stats.FnPageFault, dt)
 
-	pg.vm.Collapse(page, pg.cfg.NodeOf(cpu))
+	pg.vm.Collapse(page, pg.collapseTarget(cpu, page))
 
 	fw := k.TLBFlushWait
 	if pg.Flush != nil {
@@ -535,7 +706,7 @@ func (pg *Pager) ReclaimColdReplicas(now sim.Time, cpu mem.CPUID, bd *stats.Brea
 		dt := wait + k.CollapseBase
 		t += dt
 		bd.Pager.Add(stats.FnPolicyEnd, dt)
-		pg.vm.Collapse(p, pg.cfg.NodeOf(cpu))
+		pg.vm.Collapse(p, pg.collapseTarget(cpu, p))
 		pg.vm.Page(p).TransitUntil = t
 	}
 	fw := k.TLBFlushWait
@@ -547,4 +718,42 @@ func (pg *Pager) ReclaimColdReplicas(now sim.Time, cpu mem.CPUID, bd *stats.Brea
 	bd.Pager.Add(stats.FnTLBFlush, fw)
 	pg.intervalOverhead += t - now
 	return t - now
+}
+
+// DrainNode evicts every replica resident on node as part of a memory drain:
+// each is collapsed away under its page lock, then one TLB flush covers the
+// whole sweep. Master copies stay resident (the allocator keeps allocated
+// frames alive through a drain); only redundant copies are pushed off the
+// node. Returns the kernel time consumed and the number of replicas evicted.
+// The caller must have taken the node offline in the allocator first, so no
+// new replica lands on the node between the sweep and the flush.
+func (pg *Pager) DrainNode(now sim.Time, cpu mem.CPUID, node mem.NodeID, bd *stats.Breakdown) (sim.Time, int) {
+	k := pg.cfg.Kernel
+	t := now
+	pages := pg.reclaimBuf[:0]
+	for {
+		p, ok := pg.vm.ReclaimReplicaOn(node)
+		if !ok {
+			break
+		}
+		wait := pg.locks.PageLock(uint32(p)).Acquire(t, k.PageLockHold)
+		dt := wait + k.CollapseBase
+		t += dt
+		bd.Pager.Add(stats.FnPolicyEnd, dt)
+		pg.vm.Page(p).TransitUntil = t
+		pages = append(pages, p)
+	}
+	pg.reclaimBuf = pages
+	if len(pages) == 0 {
+		return 0, 0
+	}
+	fw := k.TLBFlushWait
+	if pg.Flush != nil {
+		fw = pg.Flush(t, cpu, pages)
+	}
+	t += fw
+	pg.observeShootdown(t, cpu, len(pages), fw)
+	bd.Pager.Add(stats.FnTLBFlush, fw)
+	pg.intervalOverhead += t - now
+	return t - now, len(pages)
 }

@@ -16,6 +16,7 @@
 package vm
 
 import (
+	"errors"
 	"fmt"
 
 	"ccnuma/internal/cache"
@@ -103,11 +104,12 @@ type VM struct {
 	ptes  [][]PTE // [proc][gpage]; nil for free proc slots
 	freeP []mem.ProcID
 
-	faults    uint64
-	remaps    uint64
-	collapses uint64
-	migrates  uint64
-	replics   uint64
+	faults       uint64
+	remaps       uint64
+	collapses    uint64
+	migrates     uint64
+	replics      uint64
+	allocRetries uint64
 }
 
 // New builds the VM for pages logical pages over the given allocator and
@@ -196,9 +198,9 @@ func (v *VM) Touch(proc mem.ProcID, p mem.GPage, pref mem.NodeID) (PTE, FaultKin
 	kind := MapFault
 	if pi.Master == mem.NoFrame {
 		node := v.place(p, pref)
-		f := v.alloc.AllocAnywhere(node, alloc.Base)
-		if f == mem.NoFrame {
-			panic(fmt.Sprintf("vm: machine out of memory touching page %d", p))
+		f, err := v.allocRetry(node)
+		if err != nil {
+			panic(fmt.Sprintf("vm: machine out of memory touching page %d: %v", p, err))
 		}
 		pi.Master = f
 		kind = FirstTouchFault
@@ -209,6 +211,23 @@ func (v *VM) Touch(proc mem.ProcID, p mem.GPage, pref mem.NodeID) (PTE, FaultKin
 	pi.Mappers = append(pi.Mappers, proc)
 	v.faults++
 	return tbl[p], kind
+}
+
+// allocRetry allocates a base frame near node, retrying transient injected
+// failures: the fault handler sleeps on the allocator rather than killing
+// the workload. Genuine machine-wide exhaustion (ErrNoFrames) — or a
+// transient-failure storm long enough to look like one — still surfaces.
+func (v *VM) allocRetry(node mem.NodeID) (mem.PFN, error) {
+	for tries := 0; ; tries++ {
+		f, err := v.alloc.AllocAnywhere(node, alloc.Base)
+		if err == nil {
+			return f, nil
+		}
+		if !errors.Is(err, alloc.ErrTransient) || tries >= 16 {
+			return mem.NoFrame, err
+		}
+		v.allocRetries++
+	}
 }
 
 func (v *VM) nearest(pi *PageInfo, node mem.NodeID) mem.PFN {
@@ -392,9 +411,10 @@ func (v *VM) Remap(proc mem.ProcID, p mem.GPage, node mem.NodeID) {
 }
 
 // ReclaimReplicaOn frees one replica residing on node n (memory-pressure
-// response: replicated pages are reclaimed preferentially). It returns true
-// if a replica was found and freed.
-func (v *VM) ReclaimReplicaOn(n mem.NodeID) bool {
+// response: replicated pages are reclaimed preferentially). It returns the
+// reclaimed page and true when a replica was found and freed; the pager's
+// drain sweep uses the page to cover the eviction with a TLB flush.
+func (v *VM) ReclaimReplicaOn(n mem.NodeID) (mem.GPage, bool) {
 	for p := range v.pages {
 		pi := &v.pages[p]
 		for i, r := range pi.Replicas {
@@ -416,10 +436,10 @@ func (v *VM) ReclaimReplicaOn(n mem.NodeID) bool {
 				e.N = 1
 				v.Obs.EmitNow(e)
 			}
-			return true
+			return mem.GPage(p), true
 		}
 	}
-	return false
+	return 0, false
 }
 
 // ReleasePage frees every copy of page p and invalidates all mappings (used
@@ -448,9 +468,9 @@ func (v *VM) Wire(p mem.GPage, n mem.NodeID) {
 	if pi.Master != mem.NoFrame {
 		panic(fmt.Sprintf("vm: wiring resident page %d", p))
 	}
-	f := v.alloc.AllocAnywhere(n, alloc.Base)
-	if f == mem.NoFrame {
-		panic("vm: out of memory wiring kernel page")
+	f, err := v.allocRetry(n)
+	if err != nil {
+		panic(fmt.Sprintf("vm: out of memory wiring kernel page: %v", err))
 	}
 	pi.Master = f
 	pi.Flags |= Wired
@@ -471,12 +491,15 @@ type Stats struct {
 	Migrates  uint64
 	Replics   uint64
 	Collapses uint64
+	// AllocRetries counts first-touch/wire allocations re-tried after a
+	// transient injected failure (zero without fault injection).
+	AllocRetries uint64
 }
 
 // Snapshot returns accumulated VM statistics.
 func (v *VM) Snapshot() Stats {
 	return Stats{Faults: v.faults, Remaps: v.remaps, Migrates: v.migrates,
-		Replics: v.replics, Collapses: v.collapses}
+		Replics: v.replics, Collapses: v.collapses, AllocRetries: v.allocRetries}
 }
 
 // CheckInvariants validates the structural invariants listed in the package

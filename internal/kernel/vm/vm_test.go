@@ -271,8 +271,12 @@ func TestReclaimReplicaOn(t *testing.T) {
 	v.Touch(p, 3, 0)
 	rep := a.AllocOn(2, alloc.Replica)
 	v.Replicate(3, rep)
-	if !v.ReclaimReplicaOn(2) {
+	pg, ok := v.ReclaimReplicaOn(2)
+	if !ok {
 		t.Fatal("reclaim found nothing")
+	}
+	if pg != 3 {
+		t.Fatalf("reclaimed page %d, want 3", pg)
 	}
 	if a.Allocated(rep) {
 		t.Fatal("replica frame not freed")
@@ -280,12 +284,51 @@ func TestReclaimReplicaOn(t *testing.T) {
 	if v.PTE(p, 3).RO {
 		t.Fatal("pte still RO after last replica reclaimed")
 	}
-	if v.ReclaimReplicaOn(2) {
+	if _, ok := v.ReclaimReplicaOn(2); ok {
 		t.Fatal("reclaim found a ghost replica")
 	}
 	if err := v.CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// Touch must ride out transient injected allocation failures by retrying,
+// counting each retry, rather than killing the workload.
+func TestTouchRetriesTransientFailures(t *testing.T) {
+	v, a, _ := newVM(FirstTouch)
+	p := v.AddProcess()
+	remaining := 3
+	a.FailHook = func(mem.NodeID) bool {
+		if remaining > 0 {
+			remaining--
+			return true
+		}
+		return false
+	}
+	pte, kind := v.Touch(p, 7, 1)
+	if kind != FirstTouchFault {
+		t.Fatalf("kind = %v, want first-touch fault", kind)
+	}
+	if a.NodeOf(pte.PFN) != 1 {
+		t.Fatalf("retried allocation landed on node %d, want 1", a.NodeOf(pte.PFN))
+	}
+	if got := v.Snapshot().AllocRetries; got != 3 {
+		t.Fatalf("alloc retries = %d, want 3", got)
+	}
+}
+
+// A transient-failure storm that outlasts the retry budget surfaces as the
+// fault-handler panic instead of looping forever.
+func TestTouchGivesUpAfterRetryBudget(t *testing.T) {
+	v, a, _ := newVM(FirstTouch)
+	p := v.AddProcess()
+	a.FailHook = func(mem.NodeID) bool { return true }
+	defer func() {
+		if recover() == nil {
+			t.Fatal("endless transient failures did not surface")
+		}
+	}()
+	v.Touch(p, 7, 1)
 }
 
 // Property: random sequences of VM operations preserve all structural

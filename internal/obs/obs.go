@@ -46,6 +46,17 @@ const (
 	// KindReplicaReclaimed: replicas reclaimed outside the write-trap path
 	// (memory pressure or the cold-replica sweep).
 	KindReplicaReclaimed
+	// KindFaultInjected: the fault layer fired (Action names the fault).
+	KindFaultInjected
+	// KindOpDeferred: an operation that failed allocation entered the pager's
+	// deferral queue (N is the attempt count).
+	KindOpDeferred
+	// KindOpAbandoned: a deferred operation was dropped after exhausting its
+	// retries or the queue's capacity.
+	KindOpAbandoned
+	// KindPolicyThrottled: the pager shed a hot-page batch because its
+	// overhead exceeded the kernel-overhead budget (N is the batch size).
+	KindPolicyThrottled
 	kindCount
 )
 
@@ -58,6 +69,10 @@ var kindNames = [...]string{
 	KindPolicyDecision:   "policy-decision",
 	KindCounterReset:     "counter-reset",
 	KindReplicaReclaimed: "replica-reclaimed",
+	KindFaultInjected:    "fault-injected",
+	KindOpDeferred:       "op-deferred",
+	KindOpAbandoned:      "op-abandoned",
+	KindPolicyThrottled:  "policy-throttled",
 }
 
 // String names the kind as it appears in exports.

@@ -185,6 +185,10 @@ const (
 	// determined by the pager after the decision; it appears here so Table 4
 	// accounting lives in one place.
 	ReasonNoPage
+	// ReasonThrottled: the pager shed the batch because its overhead
+	// exceeded the kernel-overhead budget (fault layer's degradation
+	// response); the decision tree never ran.
+	ReasonThrottled
 )
 
 // String names the reason.
@@ -204,6 +208,8 @@ func (r Reason) String() string {
 		return "disabled"
 	case ReasonNoPage:
 		return "no-page"
+	case ReasonThrottled:
+		return "throttled"
 	default:
 		return "unknown"
 	}
@@ -319,8 +325,9 @@ type ActionStats struct {
 	NoAction   uint64
 	NoPage     uint64 // allocation failed on the destination node
 	Collapses  uint64 // write-trap collapses (not part of Table 4)
-	// ByReason breaks down DoNothing decisions.
-	ByReason [8]uint64
+	// ByReason breaks down DoNothing decisions (indexed by Reason; sized for
+	// every declared reason, ReasonActed through ReasonThrottled).
+	ByReason [ReasonThrottled + 1]uint64
 }
 
 // Record tallies a decision outcome. noPage overrides the decision when the

@@ -1,0 +1,164 @@
+package report
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ccnuma/internal/core"
+	"ccnuma/internal/sim"
+)
+
+// One poisoned run must not take down the rest of a concurrent grid: the
+// panic is isolated to its worker, the other runs complete normally, and the
+// failure is recorded with enough context to replay it.
+func TestHarnessPanicIsolation(t *testing.T) {
+	h := NewHarness(0.05, 1)
+	h.Workers = 4
+	h.KeepGoing = true
+	poison := 7 * sim.Millisecond
+	h.PreRun = func(wl string, opt core.Options) {
+		if opt.Duration == poison {
+			panic("injected failure")
+		}
+	}
+
+	durations := []sim.Time{5 * sim.Millisecond, 6 * sim.Millisecond, poison, 8 * sim.Millisecond}
+	results := make([]*core.Result, len(durations))
+	var wg sync.WaitGroup
+	for i, d := range durations {
+		wg.Add(1)
+		go func(i int, d sim.Time) {
+			defer wg.Done()
+			results[i] = h.Run("engineering", core.Options{Duration: d})
+		}(i, d)
+	}
+	wg.Wait()
+
+	for i, d := range durations {
+		if d == poison {
+			if !results[i].Failed {
+				t.Fatal("poisoned run did not return the failure placeholder")
+			}
+			continue
+		}
+		if results[i].Failed || results[i].Elapsed <= 0 {
+			t.Fatalf("healthy run %d caught the poisoned run's failure: %+v", i, results[i])
+		}
+	}
+	failures := h.Failures()
+	if len(failures) != 1 {
+		t.Fatalf("failures = %d, want 1", len(failures))
+	}
+	f := failures[0]
+	if f.Workload != "engineering" || !strings.Contains(f.Error, "injected failure") {
+		t.Fatalf("failure record = %+v", f)
+	}
+	if f.Fingerprint == "" || !strings.Contains(f.Fingerprint, "Duration:7.000ms") {
+		t.Fatalf("fingerprint does not identify the failing options: %q", f.Fingerprint)
+	}
+	if f.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (no retries configured)", f.Attempts)
+	}
+}
+
+// A transiently failing run succeeds within its retry budget and leaves no
+// failure record.
+func TestHarnessRetriesTransientFailure(t *testing.T) {
+	h := NewHarness(0.05, 1)
+	h.Retries = 2
+	h.RetryBackoff = time.Millisecond
+	var calls atomic.Int64
+	h.PreRun = func(string, core.Options) {
+		if calls.Add(1) <= 2 {
+			panic("transient")
+		}
+	}
+	res := h.Run("engineering", core.Options{Duration: 5 * sim.Millisecond})
+	if res.Failed || res.Elapsed <= 0 {
+		t.Fatalf("run failed despite retry budget: %+v", res)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("attempts = %d, want 3", got)
+	}
+	if len(h.Failures()) != 0 {
+		t.Fatalf("failures recorded for a run that recovered: %+v", h.Failures())
+	}
+}
+
+// A run exceeding RunTimeout fails with TimedOut set; its goroutine is
+// abandoned rather than joined.
+func TestHarnessRunTimeout(t *testing.T) {
+	h := NewHarness(0.05, 1)
+	h.KeepGoing = true
+	h.RunTimeout = 20 * time.Millisecond
+	h.PreRun = func(string, core.Options) {
+		time.Sleep(300 * time.Millisecond)
+	}
+	res := h.Run("engineering", core.Options{Duration: 5 * sim.Millisecond})
+	if !res.Failed {
+		t.Fatal("timed-out run did not return the failure placeholder")
+	}
+	failures := h.Failures()
+	if len(failures) != 1 || !failures[0].TimedOut {
+		t.Fatalf("failures = %+v, want one timed-out record", failures)
+	}
+}
+
+// Hammer the harness from many goroutines with injected panics and retries at
+// once — run under -race, this shakes out locking mistakes in the memo,
+// failure, and metrics paths.
+func TestHarnessFailureHammer(t *testing.T) {
+	h := NewHarness(0.05, 1)
+	h.KeepGoing = true
+	h.Retries = 1
+	h.RetryBackoff = time.Millisecond
+	var calls atomic.Int64
+	h.PreRun = func(string, core.Options) {
+		if calls.Add(1)%3 == 0 {
+			panic("injected")
+		}
+	}
+
+	const goroutines = 16
+	durations := []sim.Time{3 * sim.Millisecond, 4 * sim.Millisecond, 5 * sim.Millisecond, 6 * sim.Millisecond}
+	var wg sync.WaitGroup
+	var failed atomic.Int64
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Every goroutine hits every key: most calls share the memoized
+			// (or in-flight) run, so successes and failures both propagate.
+			for _, d := range durations {
+				res := h.Run("engineering", core.Options{Duration: d})
+				if res == nil {
+					t.Error("Run returned nil")
+					return
+				}
+				if res.Failed {
+					failed.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	executed, hits := h.Counters()
+	if executed != uint64(len(durations)) {
+		t.Fatalf("executed = %d, want one per key (%d)", executed, len(durations))
+	}
+	if executed+hits != goroutines*uint64(len(durations)) {
+		t.Fatalf("executed %d + memo hits %d != %d calls", executed, hits, goroutines*len(durations))
+	}
+	// Failed placeholders are memoized like results: every caller of a failed
+	// key sees Failed, so the count is a multiple of the sharers.
+	if int(failed.Load())%goroutines != 0 {
+		t.Fatalf("failure placeholder not shared consistently: %d failed reads", failed.Load())
+	}
+	if len(h.Failures()) != int(failed.Load())/goroutines {
+		t.Fatalf("failure records %d vs failed keys %d", len(h.Failures()), failed.Load()/int64(goroutines))
+	}
+}

@@ -42,11 +42,30 @@ type Harness struct {
 	// goroutines; the sink must be safe for concurrent use (fmt.Fprintf to
 	// one *os.File is).
 	Logf func(format string, args ...any)
+	// Retries is how many times a failed simulation (panic, error, or
+	// timeout) is re-attempted before it counts as failed.
+	Retries int
+	// RetryBackoff is the wall-clock pause before the first retry, doubling
+	// per attempt (default 100 ms).
+	RetryBackoff time.Duration
+	// RunTimeout, when positive, bounds each attempt's wall-clock time; a
+	// run that exceeds it fails (its goroutine is abandoned — the simulator
+	// has no preemption points — so timeouts should be generous).
+	RunTimeout time.Duration
+	// KeepGoing turns a run's final failure into a placeholder Result
+	// (Failed=true) plus a RunFailure record instead of a panic, so the rest
+	// of a grid still completes. Off, the first failure panics with the
+	// run's options fingerprint.
+	KeepGoing bool
+	// PreRun, when set, is called before each simulation attempt, inside the
+	// recovery scope (test hook: failure injection and attempt counting).
+	PreRun func(wl string, opt core.Options)
 
-	mu      sync.Mutex
-	runs    map[string]*runEntry
-	traces  map[string]*trace.Trace
-	metrics []RunMetric
+	mu       sync.Mutex
+	runs     map[string]*runEntry
+	traces   map[string]*trace.Trace
+	metrics  []RunMetric
+	failures []RunFailure
 
 	executed atomic.Uint64 // simulations actually run
 	memoHits atomic.Uint64 // calls served by the memo (or a shared in-flight run)
@@ -108,6 +127,36 @@ func (h *Harness) Metrics() []RunMetric {
 	return out
 }
 
+// RunFailure records one simulation that failed all its attempts. The
+// harness's failure manifest (cmd/experiments -keep-going) serialises these.
+type RunFailure struct {
+	Workload string `json:"workload"`
+	// ID is the run's memo-key hash, matching Logf lines ("%016x").
+	ID string `json:"id"`
+	// Fingerprint is the full core.Options fingerprint of the failing run —
+	// enough to rebuild and replay it.
+	Fingerprint string `json:"fingerprint"`
+	Error       string `json:"error"`
+	Attempts    int    `json:"attempts"`
+	TimedOut    bool   `json:"timed_out"`
+}
+
+// Failures returns the runs that failed all attempts, sorted by workload
+// then id (deterministic regardless of worker interleaving).
+func (h *Harness) Failures() []RunFailure {
+	h.mu.Lock()
+	out := make([]RunFailure, len(h.failures))
+	copy(out, h.failures)
+	h.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Workload != out[j].Workload {
+			return out[i].Workload < out[j].Workload
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
 func (h *Harness) logf(format string, args ...any) {
 	if h.Logf != nil {
 		h.Logf(format, args...)
@@ -159,15 +208,33 @@ func (h *Harness) Run(wl string, opt core.Options) *core.Result {
 	h.runs[key] = e
 	h.mu.Unlock()
 
-	// Release waiters even if core.Run panics (the process is going down,
-	// but blocked goroutines should not obscure the original panic).
+	// Release waiters even if this goroutine panics below (the process is
+	// going down, but blocked goroutines should not obscure the original
+	// panic).
 	defer close(e.done)
 	h.executed.Add(1)
 	h.logf("start %s id=%016x", wl, keyID(key))
 	t0 := time.Now()
-	res, err := core.Run(h.spec(wl), opt)
+	res, attempts, timedOut, err := h.attempt(wl, opt)
 	if err != nil {
-		panic(fmt.Sprintf("report: %s: %v", key, err))
+		h.mu.Lock()
+		h.failures = append(h.failures, RunFailure{
+			Workload:    wl,
+			ID:          fmt.Sprintf("%016x", keyID(key)),
+			Fingerprint: opt.Fingerprint(),
+			Error:       err.Error(),
+			Attempts:    attempts,
+			TimedOut:    timedOut,
+		})
+		h.mu.Unlock()
+		h.logf("fail  %s id=%016x attempts=%d err=%v", wl, keyID(key), attempts, err)
+		if !h.KeepGoing {
+			panic(fmt.Sprintf("report: run %s id=%016x failed after %d attempt(s): %v (options: %s)",
+				wl, keyID(key), attempts, err, opt.Fingerprint()))
+		}
+		res = &core.Result{Workload: wl, Policy: "failed", Failed: true}
+		e.res = res
+		return res
 	}
 	wall := time.Since(t0)
 	h.logf("done  %s id=%016x policy=%s simulated=%v wall=%v",
@@ -186,6 +253,62 @@ func (h *Harness) Run(wl string, opt core.Options) *core.Result {
 	h.mu.Unlock()
 	e.res = res
 	return res
+}
+
+// attempt drives one run through up to 1+Retries attempts with doubling
+// wall-clock backoff, returning the last attempt's outcome.
+func (h *Harness) attempt(wl string, opt core.Options) (res *core.Result, attempts int, timedOut bool, err error) {
+	backoff := h.RetryBackoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	for attempts = 1; ; attempts++ {
+		res, timedOut, err = h.runOnce(wl, opt)
+		if err == nil || attempts > h.Retries {
+			return res, attempts, timedOut, err
+		}
+		h.logf("retry %s attempt=%d backoff=%v err=%v", wl, attempts, backoff, err)
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+// runOutcome carries one attempt's result out of its goroutine; the buffered
+// channel lets an abandoned (timed-out) goroutine finish its send and exit.
+type runOutcome struct {
+	res *core.Result
+	err error
+}
+
+// runOnce executes one simulation attempt in a child goroutine so a panic in
+// the workload or kernel layers becomes an error on this worker instead of
+// tearing the process (and every other concurrent run) down.
+func (h *Harness) runOnce(wl string, opt core.Options) (res *core.Result, timedOut bool, err error) {
+	ch := make(chan runOutcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- runOutcome{err: fmt.Errorf("panic: %v", r)}
+			}
+		}()
+		if h.PreRun != nil {
+			h.PreRun(wl, opt)
+		}
+		r, e := core.Run(h.spec(wl), opt)
+		ch <- runOutcome{res: r, err: e}
+	}()
+	if h.RunTimeout <= 0 {
+		out := <-ch
+		return out.res, false, out.err
+	}
+	timer := time.NewTimer(h.RunTimeout)
+	defer timer.Stop()
+	select {
+	case out := <-ch:
+		return out.res, false, out.err
+	case <-timer.C:
+		return nil, true, fmt.Errorf("timed out after %v (simulation goroutine abandoned)", h.RunTimeout)
+	}
 }
 
 // FT runs the first-touch baseline for a workload.

@@ -58,6 +58,16 @@ type Breakdown struct {
 	Pager PagerBreakdown
 	// Idle is time with no runnable process.
 	Idle sim.Time
+
+	// Graceful-degradation counters (all zero unless the fault layer's
+	// responses are enabled): Deferred operations entered the pager's
+	// deferral queue after failing allocation, Retried counts their re-runs,
+	// Abandoned the ones dropped after exhausting retries or queue space,
+	// and Throttled the hot pages shed by the kernel-overhead budget.
+	Deferred  uint64
+	Retried   uint64
+	Abandoned uint64
+	Throttled uint64
 }
 
 // AddStall records a stall of duration d.
@@ -81,6 +91,10 @@ func (b *Breakdown) Merge(o *Breakdown) {
 	b.FaultTime += o.FaultTime
 	b.Pager.Merge(&o.Pager)
 	b.Idle += o.Idle
+	b.Deferred += o.Deferred
+	b.Retried += o.Retried
+	b.Abandoned += o.Abandoned
+	b.Throttled += o.Throttled
 }
 
 // Total returns all accounted time (the CPU's busy + idle horizon).
