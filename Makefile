@@ -2,10 +2,10 @@ GO ?= go
 
 # Tier-1 verification plus formatting, the race detector, and benchmark
 # smoke runs. `make ci` is what a CI job should run.
-.PHONY: ci fmt-check vet build test race fault-smoke bench-smoke \
+.PHONY: ci fmt-check vet lint build test race fault-smoke bench-smoke \
 	obs-bench-smoke bench bench-json bench-json-smoke
 
-ci: fmt-check vet build race fault-smoke bench-smoke obs-bench-smoke bench-json-smoke
+ci: fmt-check vet lint build race fault-smoke bench-smoke obs-bench-smoke bench-json-smoke
 
 # gofmt -l prints nonconforming files; any output fails the target.
 fmt-check:
@@ -15,6 +15,12 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
+# numalint: the domain-specific checks go vet cannot know about —
+# determinism, hot-path allocation-freedom, tracer guarding, fault purity.
+# Exits non-zero on any finding; see internal/lint and README.
+lint:
+	$(GO) run ./cmd/numalint ./...
+
 build:
 	$(GO) build ./...
 
@@ -22,9 +28,15 @@ test:
 	$(GO) test ./...
 
 # The experiment harness is concurrent (report.Harness singleflight memo,
-# per-experiment worker pools); keep the race detector in the loop.
+# per-experiment worker pools); keep the race detector in the loop. The
+# second run re-executes the contention hammers by name with -count=1 so a
+# cached pass can never mask a freshly introduced race in the memo or the
+# panic-isolation path.
 race:
 	$(GO) test -race ./...
+	$(GO) test -race -count=1 \
+		-run 'TestSingleflightUnderConcurrency|TestHarnessPanicIsolation|TestHarnessFailureHammer' \
+		./internal/report
 
 # The chaos suite: a full-fault run (drain + drops + transient allocation
 # failures + slow link) must complete deterministically with invariants

@@ -24,8 +24,11 @@ const cyclesPerStep = 4
 // registered typed event (stepKind with the CPU index as arg), so the
 // simulator's hottest call allocates nothing. The closure form is kept
 // behind Options.ClosureEvents as the determinism reference.
+//
+//numalint:hotpath
 func (s *System) schedule(c *cpuState, at sim.Time) {
 	if s.opt.ClosureEvents {
+		//numalint:allow hotpath closure reference path gated by Options.ClosureEvents
 		s.eng.At(at, func(now sim.Time) { s.step(c, now) })
 		return
 	}
@@ -34,6 +37,8 @@ func (s *System) schedule(c *cpuState, at sim.Time) {
 
 // step is one CPU's event: pending shootdown charges, queued pager work,
 // scheduling, and then up to sliceMax of reference execution.
+//
+//numalint:hotpath
 func (s *System) step(c *cpuState, now sim.Time) {
 	if s.finished() {
 		return // the workload completed; stop this CPU's event chain
@@ -102,6 +107,7 @@ func (s *System) step(c *cpuState, now sim.Time) {
 			c.cur = nil
 			if s.opt.ClosureEvents {
 				wake := p
+				//numalint:allow hotpath closure reference path gated by Options.ClosureEvents
 				s.eng.At(t+st.Dur, func(sim.Time) {
 					if wake.alive {
 						s.schedul.MakeRunnable(wake.sp)
@@ -130,6 +136,8 @@ func (s *System) step(c *cpuState, now sim.Time) {
 // access runs one memory reference through TLB, caches, and (on a full
 // miss) the NUMA memory system, charging all latencies and feeding the
 // policy counters and the trace.
+//
+//numalint:hotpath
 func (s *System) access(c *cpuState, p *procState, st workload.Step, t sim.Time) (sim.Time, bool) {
 	mode := stats.User
 	if st.Kernel {

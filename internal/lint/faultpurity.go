@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// faultpurity holds the chaos layer to its reproducibility contract: a fault
+// run must replay exactly from its seed, so internal/fault may draw
+// randomness only from its private sim.Rand stream and time only from the
+// injected virtual clock. Foreign RNG imports and wall-clock reads are
+// errors, not warnings.
+var faultpurity = &Analyzer{
+	Name: "faultpurity",
+	Doc:  "forbid foreign RNGs and wall-clock reads in the fault packages (private sim.Rand stream only)",
+	Run:  runFaultpurity,
+}
+
+// foreignRNG lists the random sources the fault layer must not touch.
+var foreignRNG = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+	"crypto/rand":  true,
+}
+
+func runFaultpurity(p *Pass) {
+	if !inScope(p.Pkg.Path, p.Cfg.FaultScope) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if foreignRNG[path] {
+				p.Reportf(imp.Pos(),
+					"fault injection may only draw randomness from its private sim.Rand stream, not %s", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pkg, name, ok := pkgFunc(calleeFunc(p, call)); ok &&
+				pkg == "time" && (name == "Now" || name == "Since") {
+				p.Reportf(call.Pos(),
+					"fault injection must use the injected virtual clock, not time.%s", name)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// hotpath complements TestStepHotPathZeroAllocs with a source-level gate:
+// inside functions annotated //numalint:hotpath (the step chain, miss
+// re-scheduling, block/wake, counter flush), constructs that allocate per
+// call are errors — closure literals, fmt calls, append that abandons its
+// backing slice, and basic values boxed into interfaces.
+var hotpath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "flag allocation-inducing constructs (closures, fmt, unpooled append, interface boxing) in //numalint:hotpath functions",
+	Run:  runHotpath,
+}
+
+func runHotpath(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpath(fd) {
+				continue
+			}
+			checkHotpathBody(p, fd)
+		}
+	}
+}
+
+func checkHotpathBody(p *Pass, fd *ast.FuncDecl) {
+	inspectStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			p.Reportf(n.Pos(),
+				"%s is a hot-path function: a closure literal allocates per call; use a registered typed event or a package-level func", fd.Name.Name)
+			// The closure body is the reference (allocating) path; one
+			// finding per literal is enough.
+			return false
+		case *ast.CallExpr:
+			checkHotCall(p, fd, n, stack)
+		}
+		return true
+	})
+}
+
+func checkHotCall(p *Pass, fd *ast.FuncDecl, call *ast.CallExpr, stack []ast.Node) {
+	if pkg, name, ok := pkgFunc(calleeFunc(p, call)); ok && pkg == "fmt" {
+		p.Reportf(call.Pos(),
+			"%s is a hot-path function: fmt.%s allocates and boxes its operands", fd.Name.Name, name)
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+		if _, isBuiltin := p.Pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+			checkHotAppend(p, fd, call, stack)
+			return
+		}
+	}
+	checkBoxing(p, fd, call)
+}
+
+// checkHotAppend accepts only the pooled-reuse idiom s = append(s, ...):
+// anything else (a fresh variable, an append nested in another expression)
+// grows a slice the hot path cannot recycle.
+func checkHotAppend(p *Pass, fd *ast.FuncDecl, call *ast.CallExpr, stack []ast.Node) {
+	if len(call.Args) >= 1 && len(stack) > 0 {
+		if asg, ok := stack[len(stack)-1].(*ast.AssignStmt); ok &&
+			(asg.Tok == token.ASSIGN || asg.Tok == token.DEFINE) {
+			target := types.ExprString(call.Args[0])
+			for i, rhs := range asg.Rhs {
+				if rhs == ast.Expr(call) && i < len(asg.Lhs) &&
+					types.ExprString(asg.Lhs[i]) == target {
+					return
+				}
+			}
+		}
+	}
+	p.Reportf(call.Pos(),
+		"%s is a hot-path function: append must reuse its backing slice (s = append(s, ...)) so a pooled buffer can absorb it", fd.Name.Name)
+}
+
+// checkBoxing flags basic-typed arguments passed in interface-typed
+// parameter slots: the conversion heap-allocates the value.
+func checkBoxing(p *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	tv, ok := p.Pkg.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	if tv.IsType() {
+		// Conversion: T(x) where T is an interface and x a basic value.
+		if isIface(tv.Type) && len(call.Args) == 1 && isBasicValue(p, call.Args[0]) {
+			p.Reportf(call.Pos(),
+				"%s is a hot-path function: converting %s to an interface boxes it on the heap",
+				fd.Name.Name, types.ExprString(call.Args[0]))
+		}
+		return
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if ok {
+		checkBoxingArgs(p, fd, call, sig)
+	}
+}
+
+func checkBoxingArgs(p *Pass, fd *ast.FuncDecl, call *ast.CallExpr, sig *types.Signature) {
+	params := sig.Params()
+	if params.Len() == 0 || call.Ellipsis.IsValid() {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if isIface(pt) && isBasicValue(p, arg) {
+			p.Reportf(arg.Pos(),
+				"%s is a hot-path function: passing %s as interface %s boxes it on the heap",
+				fd.Name.Name, types.ExprString(arg), pt.String())
+		}
+	}
+}
+
+func isIface(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// isBasicValue reports whether the expression is a non-constant basic-typed
+// value, i.e. one that an interface conversion would box at runtime.
+// Constants are exempt: the compiler materialises them as static interface
+// data (panic("msg") allocates nothing).
+func isBasicValue(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Pkg.Info.Types[e]
+	if !ok || tv.Value != nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Kind() != types.UntypedNil && b.Kind() != types.Invalid
+}

@@ -1,0 +1,347 @@
+// Package lint is numalint: a domain-specific static-analysis suite that
+// enforces the simulator's headline invariants at the source level, before a
+// violation can reach the runtime tests that would otherwise be the first to
+// notice.
+//
+// The suite currently carries four checks plus directive hygiene:
+//
+//   - determinism: inside the deterministic packages (sim, core, obs,
+//     report), flag wall-clock reads (time.Now/time.Since), the global
+//     math/rand source, select statements that race multiple channels, and
+//     map iteration whose body is order-dependent — each one a way to make
+//     two runs of the same seed diverge.
+//   - hotpath: functions annotated //numalint:hotpath must not contain
+//     allocation-inducing constructs: closure literals, fmt calls, append
+//     whose result is not reassigned over its own backing slice, or values
+//     of basic type boxed into interfaces.
+//   - tracerguard: every obs.Tracer Emit/EmitNow call site must sit behind
+//     the nil-check branch pattern (an On() or != nil guard), so the
+//     disabled tracer keeps costing one branch and zero event construction.
+//   - faultpurity: the fault package may draw randomness only from its
+//     private sim.Rand stream — foreign RNGs and wall-clock reads are
+//     errors, because a chaos run must replay exactly from its seed.
+//
+// A finding is suppressed by a directive on its line or the line above:
+//
+//	//numalint:allow <check> <reason>
+//
+// The reason is mandatory; a directive naming an unknown check, missing its
+// reason, or suppressing nothing is itself reported (check "directive").
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Config scopes the checks. The zero value checks nothing useful; use
+// DefaultConfig for this repository's invariants. Tests point the scopes at
+// corpus packages instead.
+type Config struct {
+	// DeterminismScope lists the import-path prefixes whose packages must be
+	// deterministic (the byte-identical-output guarantee).
+	DeterminismScope []string
+	// FaultScope lists the import-path prefixes held to fault purity.
+	FaultScope []string
+	// TracerPkg and TracerType name the tracer type whose emit sites must be
+	// guarded.
+	TracerPkg  string
+	TracerType string
+}
+
+// DefaultConfig returns the scopes enforced on this repository.
+func DefaultConfig() Config {
+	return Config{
+		DeterminismScope: []string{
+			"ccnuma/internal/sim",
+			"ccnuma/internal/core",
+			"ccnuma/internal/obs",
+			"ccnuma/internal/report",
+		},
+		FaultScope: []string{"ccnuma/internal/fault"},
+		TracerPkg:  "ccnuma/internal/obs",
+		TracerType: "Tracer",
+	}
+}
+
+// inScope reports whether an import path falls under one of the prefixes.
+func inScope(path string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Check, d.Message)
+}
+
+// Analyzer is one check: a name (the flag and directive key), a one-line
+// doc, and the run function.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// DirectiveCheck is the name under which directive-hygiene findings
+// (malformed, unknown-check, or unused allow directives) are reported.
+const DirectiveCheck = "directive"
+
+// Analyzers returns the suite's checks in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{determinism, hotpath, tracerguard, faultpurity}
+}
+
+// knownCheck reports whether name is a check an allow directive may name.
+func knownCheck(name string) bool {
+	if name == DirectiveCheck {
+		return true
+	}
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass is one analyzer's view of one package.
+type Pass struct {
+	Fset *token.FileSet
+	Pkg  *Package
+	Cfg  Config
+
+	check string
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Check:   p.check,
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Suite runs a set of analyzers under one configuration.
+type Suite struct {
+	Cfg Config
+	// Disabled names checks to skip (flag-controlled in cmd/numalint).
+	Disabled map[string]bool
+}
+
+// enabled reports whether the named check should run.
+func (s *Suite) enabled(name string) bool { return !s.Disabled[name] }
+
+// Run applies the enabled analyzers to every package, resolves allow
+// directives, and returns the surviving findings sorted by position.
+func (s *Suite) Run(pkgs []*Package) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		out = append(out, s.runPackage(pkg)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+	return out
+}
+
+func (s *Suite) runPackage(pkg *Package) []Diagnostic {
+	var raw []Diagnostic
+	for _, a := range Analyzers() {
+		if !s.enabled(a.Name) {
+			continue
+		}
+		a.Run(&Pass{
+			Fset:  pkg.Fset,
+			Pkg:   pkg,
+			Cfg:   s.Cfg,
+			check: a.Name,
+			diags: &raw,
+		})
+	}
+
+	allows, dirDiags := collectDirectives(pkg)
+
+	// An allow directive suppresses findings of its check on its own line
+	// and the line below (so it can trail the flagged statement or sit on
+	// its own line above it).
+	kept := raw[:0]
+	for _, d := range raw {
+		suppressed := false
+		for _, al := range allows {
+			if al.check == d.Check && al.file == d.File &&
+				(al.line == d.Line || al.line == d.Line-1) {
+				al.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+
+	if s.enabled(DirectiveCheck) {
+		kept = append(kept, dirDiags...)
+		for _, al := range allows {
+			// A directive for a disabled check cannot be proven stale.
+			if !al.used && s.enabled(al.check) {
+				kept = append(kept, Diagnostic{
+					Check: DirectiveCheck,
+					File:  al.file, Line: al.line, Col: al.col,
+					Message: fmt.Sprintf("allow directive for %q suppresses nothing; remove it", al.check),
+				})
+			}
+		}
+	}
+	return kept
+}
+
+// allowDirective is one parsed //numalint:allow comment.
+type allowDirective struct {
+	check  string
+	reason string
+	file   string
+	line   int
+	col    int
+	used   bool
+}
+
+// HotpathDirective marks a function for the hotpath check when it appears in
+// the function's doc comment.
+const HotpathDirective = "numalint:hotpath"
+
+// collectDirectives parses every numalint directive in the package,
+// returning the allow directives and the hygiene findings (malformed
+// directives, unknown check names, misplaced hotpath annotations).
+func collectDirectives(pkg *Package) ([]*allowDirective, []Diagnostic) {
+	var allows []*allowDirective
+	var diags []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		p := pkg.Fset.Position(pos)
+		diags = append(diags, Diagnostic{
+			Check: DirectiveCheck,
+			File:  p.Filename, Line: p.Line, Col: p.Column,
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+
+	for _, f := range pkg.Files {
+		// Hotpath directives are only meaningful in a function's doc
+		// comment; anywhere else they silently annotate nothing.
+		funcDocs := map[*ast.CommentGroup]bool{}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+				funcDocs[fd.Doc] = true
+			}
+		}
+
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // /* */ comments cannot carry directives
+				}
+				rest, ok := strings.CutPrefix(text, "numalint:")
+				if !ok {
+					continue
+				}
+				switch {
+				case rest == "hotpath":
+					if !funcDocs[cg] {
+						report(c.Pos(), "hotpath directive must be part of a function's doc comment")
+					}
+				case strings.HasPrefix(rest, "allow"):
+					fields := strings.Fields(strings.TrimPrefix(rest, "allow"))
+					if len(fields) < 2 {
+						report(c.Pos(), "allow directive needs a check name and a reason: //numalint:allow <check> <reason>")
+						continue
+					}
+					if !knownCheck(fields[0]) {
+						report(c.Pos(), "allow directive names unknown check %q", fields[0])
+						continue
+					}
+					p := pkg.Fset.Position(c.Pos())
+					allows = append(allows, &allowDirective{
+						check:  fields[0],
+						reason: strings.Join(fields[1:], " "),
+						file:   p.Filename,
+						line:   p.Line,
+						col:    p.Column,
+					})
+				default:
+					report(c.Pos(), "unknown numalint directive %q", "numalint:"+rest)
+				}
+			}
+		}
+	}
+	return allows, diags
+}
+
+// isHotpath reports whether the function's doc comment carries the
+// //numalint:hotpath directive.
+func isHotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimPrefix(c.Text, "//") == HotpathDirective {
+			return true
+		}
+	}
+	return false
+}
+
+// inspectStack walks root like ast.Inspect but hands fn the stack of
+// ancestors (outermost first, not including n itself). Returning false
+// skips n's children.
+func inspectStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := fn(n, stack)
+		stack = append(stack, n)
+		if !descend {
+			// ast.Inspect will not visit children, so it will not deliver
+			// the matching nil either: pop now.
+			stack = stack[:len(stack)-1]
+		}
+		return descend
+	})
+}

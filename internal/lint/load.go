@@ -1,0 +1,298 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package under analysis.
+type Package struct {
+	// Path is the package's import path (or the synthetic path a corpus
+	// package was loaded under).
+	Path string
+	// Dir is the directory the sources were read from.
+	Dir string
+	// Files are the package's non-test source files.
+	Files []*ast.File
+	// Fset is the file set the files were parsed into.
+	Fset *token.FileSet
+	// Types and Info carry the go/types results the checks consult.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages using only the standard library:
+// module-internal imports resolve through the loader itself and every other
+// import (the standard library) through go/importer's source importer, so
+// linting needs no export data, no network, and no tooling beyond the go
+// source tree. Packages are checked once and cached by import path.
+type Loader struct {
+	Fset    *token.FileSet
+	ModRoot string
+	ModPath string
+
+	std      types.Importer
+	pkgs     map[string]*Package
+	dirs     map[string]string // import path -> source directory
+	checking map[string]bool   // cycle guard
+}
+
+// NewLoader builds a loader for the module containing dir (found by walking
+// up to the nearest go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lint: no go.mod at or above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:     fset,
+		ModRoot:  root,
+		ModPath:  modPath,
+		std:      importer.ForCompiler(fset, "source", nil),
+		pkgs:     map[string]*Package{},
+		dirs:     map[string]string{},
+		checking: map[string]bool{},
+	}, nil
+}
+
+// modulePath reads the module declaration from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module declaration in %s", gomod)
+}
+
+// Load resolves package patterns — a directory, or a directory followed by
+// /... for its whole subtree, relative to the working directory — and
+// returns the type-checked packages in import-path order. Directories named
+// testdata (and hidden/underscore directories) are skipped, matching the go
+// tool's convention.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirSet := map[string]bool{}
+	for _, pat := range patterns {
+		recursive := false
+		if pat == "..." || strings.HasSuffix(pat, "/...") {
+			recursive = true
+			pat = strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+			if pat == "" {
+				pat = "."
+			}
+		}
+		dir, err := filepath.Abs(pat)
+		if err != nil {
+			return nil, err
+		}
+		if !recursive {
+			if hasGoFiles(dir) {
+				dirSet[dir] = true
+			}
+			continue
+		}
+		err = filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != dir && (name == "testdata" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return fs.SkipDir
+			}
+			if hasGoFiles(path) {
+				dirSet[path] = true
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	paths := make([]string, 0, len(dirSet))
+	for dir := range dirSet {
+		rel, err := filepath.Rel(l.ModRoot, dir)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("lint: directory %s is outside module %s", dir, l.ModRoot)
+		}
+		ip := l.ModPath
+		if rel != "." {
+			ip = l.ModPath + "/" + filepath.ToSlash(rel)
+		}
+		l.dirs[ip] = dir
+		paths = append(paths, ip)
+	}
+	sort.Strings(paths)
+
+	out := make([]*Package, 0, len(paths))
+	for _, ip := range paths {
+		p, err := l.check(ip)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// LoadDir parses and type-checks one directory under a synthetic import
+// path. The analyzer tests use it to load testdata corpus packages (which
+// live under a testdata directory Load skips) with scopes of their own.
+func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	l.dirs[asPath] = abs
+	return l.check(asPath)
+}
+
+// check type-checks the package at the given import path, resolving
+// module-internal imports recursively.
+func (l *Loader) check(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.checking[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.checking[path] = true
+	defer delete(l.checking, path)
+
+	dir, ok := l.dirs[path]
+	if !ok {
+		switch {
+		case path == l.ModPath:
+			dir = l.ModRoot
+		case strings.HasPrefix(path, l.ModPath+"/"):
+			dir = filepath.Join(l.ModRoot, filepath.FromSlash(strings.TrimPrefix(path, l.ModPath+"/")))
+		default:
+			return nil, fmt.Errorf("lint: package %s is outside module %s", path, l.ModPath)
+		}
+		l.dirs[path] = dir
+	}
+
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: loaderImporter{l},
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", path, typeErrs[0])
+	}
+
+	p := &Package{Path: path, Dir: dir, Files: files, Fset: l.Fset, Types: tpkg, Info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// parseDir parses the directory's non-test go sources with comments (the
+// directives live there).
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && isLintableGoFile(e.Name()) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no go files in %s", dir)
+	}
+	files := make([]*ast.File, 0, len(names))
+	for _, n := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// loaderImporter routes module-internal imports back through the loader and
+// everything else (the standard library) to the source importer.
+type loaderImporter struct{ l *Loader }
+
+func (im loaderImporter) Import(path string) (*types.Package, error) {
+	l := im.l
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		p, err := l.check(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+func isLintableGoFile(name string) bool {
+	return strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, ".") &&
+		!strings.HasPrefix(name, "_")
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && isLintableGoFile(e.Name()) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,47 @@
+// Package bad seeds one instance of every determinism violation numalint
+// must catch; the expected diagnostics live in testdata/golden.
+package bad
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// WallClock reads real time inside a deterministic package.
+func WallClock() int64 {
+	t0 := time.Now()
+	return int64(time.Since(t0))
+}
+
+// GlobalRand draws from the process-global source.
+func GlobalRand() int {
+	return rand.Intn(10)
+}
+
+// RacySelect races two channels: when both are ready the runtime picks one
+// pseudo-randomly.
+func RacySelect(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// MapOrder prints in iteration order.
+func MapOrder(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+// MapCollectNoSort collects keys but never sorts them.
+func MapCollectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,60 @@
+// Package good holds the deterministic idioms the determinism check must
+// accept: collect-then-sort map iteration, commutative accumulation, set
+// building, single-channel selects, and a directive-annotated wall-clock
+// read.
+package good
+
+import (
+	"sort"
+	"time"
+)
+
+// Allowed reads the wall clock under an allow directive.
+func Allowed() time.Time {
+	return time.Now() //numalint:allow determinism corpus demonstrates the annotated exemption
+}
+
+// SortedKeys collects the keys and sorts before use.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Count accumulates commutatively; iteration order cannot show.
+func Count(m map[string]int) (n, sum int) {
+	for _, v := range m {
+		n++
+		sum += v
+	}
+	return n, sum
+}
+
+// SetBuild writes each key into another map: set semantics, no order.
+func SetBuild(m map[string]int) map[string]bool {
+	out := map[string]bool{}
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+// Prune deletes as it goes; removal carries no order either.
+func Prune(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// OneCommSelect has a single channel case plus default: no race.
+func OneCommSelect(a chan int) (int, bool) {
+	select {
+	case v := <-a:
+		return v, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,25 @@
+// Package bad seeds directive-hygiene findings: a misplaced hotpath
+// annotation, a malformed allow, an unknown check name, a stale allow that
+// suppresses nothing, and an unknown directive verb.
+package bad
+
+import "sort"
+
+//numalint:hotpath
+var notAFunction = 1
+
+//numalint:frobnicate
+const alsoWrong = 2
+
+// Keys is already clean, so every allow in it is stale or malformed.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	//numalint:allow nosuchcheck because reasons
+	//numalint:allow determinism
+	//numalint:allow determinism stale suppression of an already-clean loop
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

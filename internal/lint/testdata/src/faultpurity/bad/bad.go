@@ -1,0 +1,17 @@
+// Package bad seeds fault-purity violations: a foreign RNG import and
+// wall-clock reads inside a fault package.
+package bad
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Draw mixes the global RNG with the wall clock — a chaos run that could
+// never replay from its seed.
+func Draw() int {
+	if time.Now().UnixNano()%2 == 0 {
+		return rand.Intn(6)
+	}
+	return 0
+}

@@ -1,0 +1,20 @@
+// Package good draws randomness only from a private sim.Rand stream — the
+// shape internal/fault must keep.
+package good
+
+import "ccnuma/internal/sim"
+
+// Injector owns its private stream.
+type Injector struct {
+	rng *sim.Rand
+}
+
+// New seeds the private stream from the run seed.
+func New(seed uint64) *Injector {
+	return &Injector{rng: sim.NewRand(seed)}
+}
+
+// Draw is deterministic for a fixed seed.
+func (in *Injector) Draw() int {
+	return in.rng.Intn(6)
+}

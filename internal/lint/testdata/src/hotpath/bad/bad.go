@@ -1,0 +1,28 @@
+// Package bad seeds the allocation-inducing constructs the hotpath check
+// must reject inside an annotated function.
+package bad
+
+import "fmt"
+
+type queue struct {
+	buf   []int
+	sched func(int)
+}
+
+// Hot is annotated and violates every hotpath rule: a closure literal, a
+// fmt call, an append that abandons its backing slice, and interface boxing
+// of a non-constant int (as a conversion and as a call argument).
+//
+//numalint:hotpath
+func (q *queue) Hot(vs []int, x int) []int {
+	for _, v := range vs {
+		q.sched = func(int) { _ = v }
+	}
+	_ = fmt.Sprintf("%d", x)
+	out := append(q.buf, x)
+	_ = any(x)
+	q.box(x)
+	return out
+}
+
+func (q *queue) box(v any) {}

@@ -1,0 +1,27 @@
+// Package good holds the allocation-free idioms the hotpath check must
+// accept, and an unannotated function it must leave alone.
+package good
+
+type pool struct {
+	buf []int
+}
+
+// Hot reuses its backing buffer (the pooled self-append idiom) and panics
+// only with a constant, which the compiler materialises statically.
+//
+//numalint:hotpath
+func (p *pool) Hot(vs []int) {
+	for _, v := range vs {
+		p.buf = append(p.buf, v)
+	}
+	if len(p.buf) > 1<<20 {
+		panic("pool: overflow")
+	}
+}
+
+// Cold is unannotated: closures and fresh appends are fine off the hot
+// path.
+func (p *pool) Cold(vs []int) func() []int {
+	doubled := append(vs, vs...)
+	return func() []int { return doubled }
+}

@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// tracerguard keeps the disabled tracer at its one-branch cost: building an
+// obs.Event just to hand it to a nil tracer's no-op Emit still pays for the
+// event construction, so every Emit/EmitNow call site must sit behind the
+// nil-check branch pattern — either an enclosing `if tr.On()` / `if tr !=
+// nil` branch or a preceding `if !tr.On() { return }` guard clause.
+var tracerguard = &Analyzer{
+	Name: "tracerguard",
+	Doc:  "require every obs.Tracer Emit/EmitNow call site to sit behind an On()/nil guard",
+	Run:  runTracerguard,
+}
+
+func runTracerguard(p *Pass) {
+	// The tracer's own package implements the nil-tolerant methods; the
+	// guard pattern binds its callers.
+	if p.Pkg.Path == p.Cfg.TracerPkg {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Emit" && sel.Sel.Name != "EmitNow") {
+				return true
+			}
+			if !isTracerMethod(p, sel) {
+				return true
+			}
+			recv := types.ExprString(sel.X)
+			if !guardedByAncestor(call, stack, recv) && !guardedByClause(call, stack, recv) {
+				p.Reportf(call.Pos(),
+					"%s.%s outside an On()/nil guard: the disabled tracer must cost one branch, not an event construction",
+					recv, sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}
+
+// isTracerMethod reports whether the selector resolves to a method on the
+// configured tracer type.
+func isTracerMethod(p *Pass, sel *ast.SelectorExpr) bool {
+	fn, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if ptr, ok := rt.(*types.Pointer); ok {
+		rt = ptr.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == p.Cfg.TracerPkg &&
+		named.Obj().Name() == p.Cfg.TracerType
+}
+
+// guardedByAncestor reports whether an enclosing if's then-branch proves the
+// tracer is on (cond contains recv.On() or recv != nil, possibly under &&).
+func guardedByAncestor(call *ast.CallExpr, stack []ast.Node, recv string) bool {
+	for i := len(stack) - 1; i > 0; i-- {
+		ifStmt, ok := stack[i-1].(*ast.IfStmt)
+		if !ok || stack[i] != ast.Node(ifStmt.Body) {
+			continue // not in the then-branch of this if
+		}
+		if condProvesOn(ifStmt.Cond, recv) {
+			return true
+		}
+	}
+	return false
+}
+
+// guardedByClause reports whether the enclosing function contains, before
+// the call, a guard clause of the form `if !recv.On() { return }` or
+// `if recv == nil { return }`.
+func guardedByClause(call *ast.CallExpr, stack []ast.Node, recv string) bool {
+	var body *ast.BlockStmt
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		}
+		if body != nil {
+			break
+		}
+	}
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifStmt, ok := n.(*ast.IfStmt)
+		if !ok || found {
+			return !found
+		}
+		if ifStmt.End() >= call.Pos() {
+			return true
+		}
+		if condProvesOff(ifStmt.Cond, recv) && endsInReturn(ifStmt.Body) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// condProvesOn: the condition being true implies the tracer is enabled.
+func condProvesOn(e ast.Expr, recv string) bool {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return condProvesOn(e.X, recv)
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND:
+			return condProvesOn(e.X, recv) || condProvesOn(e.Y, recv)
+		case token.NEQ:
+			return nilCompare(e, recv)
+		}
+	case *ast.CallExpr:
+		return types.ExprString(e) == recv+".On()"
+	}
+	return false
+}
+
+// condProvesOff: the condition being true implies the tracer is disabled
+// (the guard-clause shape, which returns early).
+func condProvesOff(e ast.Expr, recv string) bool {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return condProvesOff(e.X, recv)
+	case *ast.UnaryExpr:
+		return e.Op == token.NOT && condProvesOn(e.X, recv)
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LOR:
+			// `if a == nil || b == nil { return }` refutes each receiver.
+			return condProvesOff(e.X, recv) || condProvesOff(e.Y, recv)
+		case token.EQL:
+			return nilCompare(e, recv)
+		}
+	}
+	return false
+}
+
+// nilCompare reports whether the comparison pits recv against nil.
+func nilCompare(e *ast.BinaryExpr, recv string) bool {
+	x, y := types.ExprString(e.X), types.ExprString(e.Y)
+	return (x == recv && y == "nil") || (y == recv && x == "nil")
+}
+
+// endsInReturn reports whether the block's last statement leaves the
+// function (return or panic).
+func endsInReturn(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				return id.Name == "panic"
+			}
+		}
+	}
+	return false
+}

@@ -214,7 +214,7 @@ func (h *Harness) Run(wl string, opt core.Options) *core.Result {
 	defer close(e.done)
 	h.executed.Add(1)
 	h.logf("start %s id=%016x", wl, keyID(key))
-	t0 := time.Now()
+	t0 := time.Now() //numalint:allow determinism wall-clock progress logging
 	res, attempts, timedOut, err := h.attempt(wl, opt)
 	if err != nil {
 		h.mu.Lock()
@@ -236,7 +236,7 @@ func (h *Harness) Run(wl string, opt core.Options) *core.Result {
 		e.res = res
 		return res
 	}
-	wall := time.Since(t0)
+	wall := time.Since(t0) //numalint:allow determinism wall-clock progress logging
 	h.logf("done  %s id=%016x policy=%s simulated=%v wall=%v",
 		wl, keyID(key), res.Policy, res.Elapsed, wall.Round(time.Millisecond))
 	h.mu.Lock()
@@ -303,6 +303,7 @@ func (h *Harness) runOnce(wl string, opt core.Options) (res *core.Result, timedO
 	}
 	timer := time.NewTimer(h.RunTimeout)
 	defer timer.Stop()
+	//numalint:allow determinism the run-timeout race is inherently wall-clock; results stay deterministic because timeouts are failures
 	select {
 	case out := <-ch:
 		return out.res, false, out.err

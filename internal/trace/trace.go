@@ -52,7 +52,10 @@ func WithCapacity(n int) *Trace {
 	return &Trace{Records: make([]Record, 0, n)}
 }
 
-// Append adds a record.
+// Append adds a record. It rides the simulator's miss path, so the record
+// buffer is preallocated by run scale (WithCapacity) and reused in place.
+//
+//numalint:hotpath
 func (t *Trace) Append(r Record) { t.Records = append(t.Records, r) }
 
 // Sort orders the records by time (stable). The machine simulator emits
