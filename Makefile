@@ -35,8 +35,11 @@ test:
 race:
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 \
-		-run 'TestSingleflightUnderConcurrency|TestHarnessPanicIsolation|TestHarnessFailureHammer' \
+		-run 'TestSingleflightUnderConcurrency|TestHarnessPanicIsolation|TestHarnessFailureHammer|TestHarnessFailureEvictedFromMemo' \
 		./internal/report
+	$(GO) test -race -count=1 \
+		-run 'TestShardNeutrality|TestShardedEpochsDeterministicAndLaneEquivalent' \
+		./internal/core ./internal/sim
 
 # The chaos suite: a full-fault run (drain + drops + transient allocation
 # failures + slow link) must complete deterministically with invariants
@@ -58,14 +61,15 @@ obs-bench-smoke:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
-# Machine-readable record of the two throughput benchmarks: one iteration at
-# quarter scale, parsed by cmd/benchjson into BENCH_3.json (ns/op, allocs/op,
-# ksteps/s, records).
+# Machine-readable record of the throughput benchmarks: one iteration at
+# quarter scale, parsed by cmd/benchjson into BENCH_6.json (ns/op, allocs/op,
+# ksteps/s, records). ShardScaling adds the 1/2/4-lane curve of the sharded
+# engine.
 bench-json:
 	BENCH_SCALE=0.25 $(GO) test -run '^$$' \
-		-bench 'FullSystemEngineering|TraceSimThroughput' -benchmem -benchtime 1x . \
-		| $(GO) run ./cmd/benchjson -out BENCH_3.json
-	@echo wrote BENCH_3.json
+		-bench 'FullSystemEngineering|ShardScaling|TraceSimThroughput' -benchmem -benchtime 1x . \
+		| $(GO) run ./cmd/benchjson -out BENCH_6.json
+	@echo wrote BENCH_6.json
 
 # Smoke: prove the bench-to-JSON pipeline parses current go test output.
 bench-json-smoke:

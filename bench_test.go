@@ -14,6 +14,7 @@ package ccnuma
 // BENCH_SCALE (default 0.5) trades fidelity for speed.
 
 import (
+	"fmt"
 	"os"
 	"strconv"
 	"sync"
@@ -227,6 +228,25 @@ func BenchmarkFullSystemEngineering(b *testing.B) {
 		h := report.NewHarness(0.25, uint64(i+1))
 		r := h.FT("engineering")
 		b.ReportMetric(float64(r.Steps)/float64(b.Elapsed().Seconds()*1e6), "ksteps/s")
+	}
+}
+
+// BenchmarkShardScaling measures full-system throughput at each event-lane
+// count: one complete engineering run per iteration on the 1-lane (single
+// heap), 2-lane, and 4-lane engines. Results are byte-identical at any lane
+// count (the shard-neutrality tests gate that), so ksteps/s is the only
+// axis this curve varies; on a single-CPU host the lanes expose no extra
+// parallelism and the curve records the merge's bookkeeping overhead.
+func BenchmarkShardScaling(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				h := report.NewHarness(0.25, uint64(i+1))
+				h.Shards = shards
+				r := h.FT("engineering")
+				b.ReportMetric(float64(r.Steps)/float64(b.Elapsed().Seconds()*1e6), "ksteps/s")
+			}
+		})
 	}
 }
 

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"ccnuma/internal/mem"
+	"ccnuma/internal/sim"
+)
+
+// The system runs on exactly one of two engines: the single-heap sim.Engine
+// (Shards <= 1, the reference path every golden output is pinned to) or the
+// per-node-lane sim.Sharded engine (Shards > 1). The sharded engine's
+// serialized merge dispatches in global (time, schedule-order) — the exact
+// single-heap order — so the wrappers below are the only places that need
+// to know which engine is underneath, and shard count can never change
+// results. Kernel handlers still touch machine-global state (the cache
+// validity filter, the VM, the scheduler), so core drives the lanes through
+// that merge; the concurrent epoch-barrier mode (sim.Sharded.RunEpochs)
+// becomes usable as those structures are made lane-confined (see DESIGN.md,
+// "Sharded execution").
+
+// buildEngine selects and constructs the run's engine. The sharded
+// engine's epoch window is sized by the minimum cross-node latency — the
+// machine's remote-miss minimum from the interconnect model — because no
+// cross-lane effect can propagate faster than one remote hop.
+func (s *System) buildEngine() {
+	if s.opt.Shards > 1 {
+		s.seng = sim.NewSharded(s.opt.Shards, s.cfg.RemoteLatency)
+		return
+	}
+	s.eng = &sim.Engine{}
+}
+
+// registerKinds installs the typed step and wake handlers on whichever
+// engine the run uses. On the sharded engine the step kind carries lane
+// affinity — a CPU's step events live on its node's lane (modulo the lane
+// count), which also owns that node's caches, TLBs, and local frame pool —
+// while wake events ride lane 0 because the scheduler is machine-global.
+func (s *System) registerKinds() {
+	if s.seng != nil {
+		shards := s.opt.Shards
+		s.stepKind = s.seng.Register(func(_ *sim.Lane, now sim.Time, arg uint64) {
+			s.step(s.cpus[arg], now)
+		}, func(arg uint64) int { return int(s.cfg.NodeOf(mem.CPUID(arg))) % shards })
+		s.wakeKind = s.seng.Register(func(_ *sim.Lane, now sim.Time, arg uint64) {
+			s.wakeProc(mem.ProcID(arg>>32), uint32(arg))
+		}, nil)
+		return
+	}
+	s.stepKind = s.eng.Register(func(now sim.Time, arg uint64) {
+		s.step(s.cpus[arg], now)
+	})
+	s.wakeKind = s.eng.Register(func(now sim.Time, arg uint64) {
+		s.wakeProc(mem.ProcID(arg>>32), uint32(arg))
+	})
+}
+
+// now returns the engine clock.
+//
+//numalint:hotpath
+func (s *System) now() sim.Time {
+	if s.seng != nil {
+		return s.seng.Now()
+	}
+	return s.eng.Now()
+}
+
+// schedAtKind schedules a typed event at absolute time at.
+//
+//numalint:hotpath
+func (s *System) schedAtKind(at sim.Time, k sim.Kind, arg uint64) {
+	if s.seng != nil {
+		s.seng.AtKind(at, k, arg)
+		return
+	}
+	s.eng.AtKind(at, k, arg)
+}
+
+// schedAt schedules a closure event at absolute time at.
+func (s *System) schedAt(at sim.Time, fn sim.Event) {
+	if s.seng != nil {
+		s.seng.At(at, fn)
+		return
+	}
+	s.eng.At(at, fn)
+}
+
+// schedEvery schedules a periodic event.
+func (s *System) schedEvery(period sim.Time, fn sim.Event, stop func() bool) {
+	if s.seng != nil {
+		s.seng.Every(period, fn, stop)
+		return
+	}
+	s.eng.Every(period, fn, stop)
+}
+
+// engineRunUntil drives the run to the deadline.
+func (s *System) engineRunUntil(deadline sim.Time) {
+	if s.seng != nil {
+		s.seng.RunUntil(deadline)
+		return
+	}
+	s.eng.RunUntil(deadline)
+}
+
+// engineFired returns the number of events dispatched so far.
+func (s *System) engineFired() uint64 {
+	if s.seng != nil {
+		return s.seng.Fired()
+	}
+	return s.eng.Fired()
+}
+
+// enginePending returns the number of scheduled, undispatched events.
+func (s *System) enginePending() int {
+	if s.seng != nil {
+		return s.seng.Pending()
+	}
+	return s.eng.Pending()
+}
+
+// engineStep dispatches one event (tests and benchmarks drive the hot path
+// with it).
+func (s *System) engineStep() bool {
+	if s.seng != nil {
+		return s.seng.Step()
+	}
+	return s.eng.Step()
+}

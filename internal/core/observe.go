@@ -14,7 +14,7 @@ import (
 // components exist.
 func (s *System) wireObservability() {
 	if s.opt.CollectEvents {
-		s.events = obs.NewTracer(func() sim.Time { return s.eng.Now() })
+		s.events = obs.NewTracer(s.now)
 		s.vmm.Obs = s.events
 		s.counters.Obs = s.events
 		if s.pg != nil {
@@ -37,8 +37,8 @@ func (s *System) startSampler() {
 	if s.sampler == nil {
 		return
 	}
-	s.eng.Every(s.sampler.Interval, s.takeSample,
-		func() bool { return s.finished() || s.eng.Now() >= s.deadline })
+	s.schedEvery(s.sampler.Interval, s.takeSample,
+		func() bool { return s.finished() || s.now() >= s.deadline })
 }
 
 // takeSample records one time-series point: engine gauges, per-CPU breakdown
@@ -48,8 +48,8 @@ func (s *System) startSampler() {
 func (s *System) takeSample(now sim.Time) {
 	sm := obs.Sample{
 		At:      now,
-		Fired:   s.eng.Fired(),
-		Pending: s.eng.Pending(),
+		Fired:   s.engineFired(),
+		Pending: s.enginePending(),
 		CPU:     make([]obs.CPUSample, len(s.cpus)),
 		Node:    make([]obs.NodeSample, s.cfg.Nodes),
 	}

@@ -123,6 +123,13 @@ type Options struct {
 	// The zero value disables it entirely: no injector is built and the run
 	// is byte-identical to one on a build without the fault layer.
 	Faults fault.Config
+	// Shards is the number of per-node event lanes the run's engine is
+	// partitioned into (capped at the machine's node count). 0 or 1 keeps
+	// the single-heap engine. Sharding is an execution detail, never a
+	// semantic one: the lanes merge in global schedule order, so any shard
+	// count produces byte-identical results — which is why Shards is
+	// excluded from Fingerprint and cannot perturb memo keys.
+	Shards int
 }
 
 // Fingerprint renders every field of the options into a string that
@@ -133,6 +140,10 @@ type Options struct {
 // address — stable within a process, which is all an in-process memo needs
 // (two distinct placer values conservatively get distinct keys).
 func (o Options) Fingerprint() string {
+	// Shards partitions the event queue without changing results (gated by
+	// the cross-shard determinism tests), so it is erased here: two runs
+	// differing only in shard count must share one memo slot.
+	o.Shards = 0
 	return fmt.Sprintf("%+v", o)
 }
 
@@ -173,6 +184,14 @@ func (o Options) withDefaults(spec specLike) (Options, error) {
 	if o.DebugChecks && o.SampleInterval <= 0 {
 		// The debug checks run on sampler ticks; give them a tick to run on.
 		o.SampleInterval = sim.Millisecond
+	}
+	if o.Shards < 0 {
+		return o, fmt.Errorf("core: negative shard count %d", o.Shards)
+	}
+	if o.Shards > o.Config.Nodes {
+		// One lane per node is the natural maximum: a lane owns a node's
+		// CPUs, caches, TLBs, and local frame pool.
+		o.Shards = o.Config.Nodes
 	}
 	if err := o.Config.Validate(); err != nil {
 		return o, err

@@ -29,10 +29,10 @@ const cyclesPerStep = 4
 func (s *System) schedule(c *cpuState, at sim.Time) {
 	if s.opt.ClosureEvents {
 		//numalint:allow hotpath closure reference path gated by Options.ClosureEvents
-		s.eng.At(at, func(now sim.Time) { s.step(c, now) })
+		s.schedAt(at, func(now sim.Time) { s.step(c, now) })
 		return
 	}
-	s.eng.AtKind(at, s.stepKind, uint64(c.id))
+	s.schedAtKind(at, s.stepKind, uint64(c.id))
 }
 
 // step is one CPU's event: pending shootdown charges, queued pager work,
@@ -108,13 +108,13 @@ func (s *System) step(c *cpuState, now sim.Time) {
 			if s.opt.ClosureEvents {
 				wake := p
 				//numalint:allow hotpath closure reference path gated by Options.ClosureEvents
-				s.eng.At(t+st.Dur, func(sim.Time) {
+				s.schedAt(t+st.Dur, func(sim.Time) {
 					if wake.alive {
 						s.schedul.MakeRunnable(wake.sp)
 					}
 				})
 			} else {
-				s.eng.AtKind(t+st.Dur, s.wakeKind,
+				s.schedAtKind(t+st.Dur, s.wakeKind,
 					uint64(p.vmID)<<32|uint64(p.slotGen))
 			}
 		case workload.StepAccess:
@@ -268,20 +268,20 @@ func (s *System) start() {
 	for i := range s.spec.Procs {
 		ps := &s.spec.Procs[i]
 		if ps.StartAt <= 0 {
-			s.addProc(ps)
+			s.addProc(ps, i)
 		} else {
-			ps := ps
+			ps, i := ps, i
 			s.pendingSpawns++
-			s.eng.At(ps.StartAt, func(sim.Time) {
+			s.schedAt(ps.StartAt, func(sim.Time) {
 				s.pendingSpawns--
-				s.addProc(ps)
+				s.addProc(ps, i)
 			})
 		}
 	}
 	s.preTouch()
 
 	if s.pg != nil {
-		s.eng.Every(s.opt.Params.ResetInterval, func(now sim.Time) {
+		s.schedEvery(s.opt.Params.ResetInterval, func(now sim.Time) {
 			if s.pg.ReclaimCold {
 				// Reclaim while this interval's sharing information is
 				// still in the counters; the kernel time lands on CPU 0.
@@ -289,20 +289,20 @@ func (s *System) start() {
 				c0.extraDelay += s.pg.ReclaimColdReplicas(now, c0.id, &c0.bd)
 			}
 			s.pg.ResetInterval()
-		}, func() bool { return s.finished() || s.eng.Now() >= s.deadline })
+		}, func() bool { return s.finished() || s.now() >= s.deadline })
 	}
 	if s.inj != nil {
 		if fc := s.inj.Config(); fc.DrainAt > 0 {
 			node := mem.NodeID(fc.DrainNode)
-			s.eng.At(fc.DrainAt, func(now sim.Time) { s.drainNode(now, node) })
+			s.schedAt(fc.DrainAt, func(now sim.Time) { s.drainNode(now, node) })
 		}
 	}
 	if aff, ok := s.schedul.(*sched.Affinity); ok {
 		// Periodic load balancing (UNIX priority decay): the process
 		// movement that makes private pages remote.
-		s.eng.Every(rebalancePeriod, func(sim.Time) {
+		s.schedEvery(rebalancePeriod, func(sim.Time) {
 			aff.Rebalance()
-		}, func() bool { return s.finished() || s.eng.Now() >= s.deadline })
+		}, func() bool { return s.finished() || s.now() >= s.deadline })
 	}
 	s.startSampler()
 	for _, c := range s.cpus {
@@ -314,7 +314,7 @@ func (s *System) start() {
 // measurements.
 func (s *System) Run() (*Result, error) {
 	s.start()
-	s.eng.RunUntil(s.deadline)
+	s.engineRunUntil(s.deadline)
 	if s.tracer != nil {
 		s.tracer.Sort()
 	}
@@ -341,7 +341,7 @@ func (s *System) Run() (*Result, error) {
 		Trace:             s.tracer,
 		ObsEvents:         s.events,
 		Series:            s.sampler,
-		Events:            s.eng.Fired(),
+		Events:            s.engineFired(),
 		Faults:            s.inj.Stats(),
 	}
 	for _, c := range s.cpus {

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"ccnuma/internal/sim"
+	"ccnuma/internal/workload"
+)
+
+// shardExports renders every deterministic export of a result: the stats
+// summary, the observability events JSONL, and the time-series (CSV and
+// JSONL). Byte equality of this bundle is the cross-shard gate.
+func shardExports(t *testing.T, res *Result) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "elapsed=%d steps=%d events=%d\n", res.Elapsed, res.Steps, res.Events)
+	fmt.Fprintf(&b, "agg=%+v\n", res.Agg)
+	for i := range res.PerCPU {
+		fmt.Fprintf(&b, "cpu%d=%+v\n", i, res.PerCPU[i])
+	}
+	fmt.Fprintf(&b, "vm=%+v alloc=%+v counters=%+v\n", res.VM, res.Alloc, res.Counters)
+	fmt.Fprintf(&b, "actions=%+v sched=%d local=%.9f remote=%d\n",
+		res.Actions, res.SchedMigrations, res.LocalMissFraction, res.AvgRemoteLatency)
+	fmt.Fprintf(&b, "contention=%+v faults=%+v\n", res.Contention, res.Faults)
+	if res.ObsEvents != nil {
+		if err := res.ObsEvents.WriteJSONL(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if res.Series != nil {
+		if err := res.Series.WriteCSV(&b); err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Series.WriteJSONL(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Bytes()
+}
+
+// shardCases are the golden workload/option combinations the cross-shard
+// determinism hammer runs: dynamic policy with every observability surface
+// on, a pinned static-placement run, a real paper workload at test scale,
+// and a full-chaos fault-injected run.
+func shardCases() []struct {
+	name string
+	spec func() *workload.Spec
+	opt  Options
+} {
+	return []struct {
+		name string
+		spec func() *workload.Spec
+		opt  Options
+	}{
+		{
+			name: "tiny-affinity-dynamic",
+			spec: func() *workload.Spec { return tinySpec(workload.SchedAffinity, 60000) },
+			opt: Options{Seed: 7, Dynamic: true, CollectEvents: true,
+				SampleInterval: sim.Millisecond, DebugChecks: true},
+		},
+		{
+			name: "tiny-pinned-static",
+			spec: func() *workload.Spec { return tinySpec(workload.SchedPinned, 60000) },
+			opt:  Options{Seed: 3, CollectEvents: true, SampleInterval: sim.Millisecond},
+		},
+		{
+			name: "engineering-scaled",
+			spec: func() *workload.Spec {
+				build, err := workload.ByName("engineering")
+				if err != nil {
+					panic(err)
+				}
+				return build(0.05, 11)
+			},
+			opt: Options{Seed: 11, Dynamic: true, CollectEvents: true,
+				Duration: 8 * sim.Millisecond},
+		},
+		{
+			name: "tiny-chaos",
+			spec: func() *workload.Spec { return tinySpec(workload.SchedAffinity, 60000) },
+			opt: Options{Seed: 5, Dynamic: true, CollectEvents: true,
+				SampleInterval: sim.Millisecond, Faults: chaosConfig()},
+		},
+	}
+}
+
+// TestShardNeutrality is the cross-shard determinism hammer: for every
+// golden case, `-shards 1` (the single-heap engine) and `-shards N`
+// (per-node lanes under the deterministic merge) must produce byte-identical
+// stats, events JSONL, and time-series output. Run under -race in `make ci`
+// (the race target re-executes it by name).
+func TestShardNeutrality(t *testing.T) {
+	for _, tc := range shardCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			opt := tc.opt
+			opt.Shards = 1
+			base, err := Run(tc.spec(), opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := shardExports(t, base)
+			for _, shards := range []int{2, 4} {
+				opt := tc.opt
+				opt.Shards = shards
+				res, err := Run(tc.spec(), opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := shardExports(t, res)
+				if !bytes.Equal(want, got) {
+					t.Fatalf("shards=%d diverged from shards=1 (exports differ: %d vs %d bytes)\nfirst divergence: %s",
+						shards, len(want), len(got), firstDiff(want, got))
+				}
+			}
+		})
+	}
+}
+
+// firstDiff renders the first differing region of two byte slices.
+func firstDiff(a, b []byte) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			lo, hi := i-40, i+40
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > n {
+				hi = n
+			}
+			return fmt.Sprintf("at byte %d: %q vs %q", i, a[lo:hi], b[lo:hi])
+		}
+	}
+	return fmt.Sprintf("common prefix of %d bytes", n)
+}
+
+// TestShardsAbsentFromFingerprint pins the memo contract: two option sets
+// differing only in shard count share one fingerprint (and so one memo
+// slot), because sharding cannot change results.
+func TestShardsAbsentFromFingerprint(t *testing.T) {
+	a := Options{Seed: 9, Dynamic: true}
+	b := a
+	b.Shards = 4
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("shard count leaked into the fingerprint:\n%s\n%s",
+			a.Fingerprint(), b.Fingerprint())
+	}
+	c := a
+	c.Dynamic = false
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("distinct options collided — the fingerprint stopped covering Dynamic")
+	}
+}
+
+// TestShardOptionValidation pins the Shards normalization: negatives are
+// rejected, and counts beyond the node count clamp to one lane per node.
+func TestShardOptionValidation(t *testing.T) {
+	if _, err := Run(tinySpec(workload.SchedPinned, 1000), Options{Seed: 1, Shards: -1}); err == nil {
+		t.Fatal("negative shard count accepted")
+	}
+	sys, err := NewSystem(tinySpec(workload.SchedPinned, 1000), Options{Seed: 1, Shards: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.seng == nil {
+		t.Fatal("shards=64 did not select the sharded engine")
+	}
+	if got, nodes := sys.seng.Lanes(), sys.cfg.Nodes; got != nodes {
+		t.Fatalf("lanes = %d, want clamped to node count %d", got, nodes)
+	}
+	if sys.seng.Lookahead() != sys.cfg.RemoteLatency {
+		t.Fatalf("epoch lookahead = %v, want the minimum cross-node latency %v",
+			sys.seng.Lookahead(), sys.cfg.RemoteLatency)
+	}
+}
+
+// TestShardedEngineStepChain drives a sharded system event by event through
+// the public step API, checking the lanes actually hold the step chain (the
+// engine fires events and the workload completes exactly as single-heap).
+func TestShardedEngineStepChain(t *testing.T) {
+	run := func(shards int) (uint64, sim.Time) {
+		sys, err := NewSystem(tinySpec(workload.SchedPinned, 20000), Options{Seed: 2, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.start()
+		for sys.engineStep() {
+			if sys.finished() {
+				break
+			}
+		}
+		return sys.engineFired(), sys.now()
+	}
+	f1, t1 := run(1)
+	f4, t4 := run(4)
+	if f1 != f4 || t1 != t4 {
+		t.Fatalf("stepwise runs diverged: shards=1 %d@%v, shards=4 %d@%v", f1, t1, f4, t4)
+	}
+}

@@ -32,11 +32,16 @@ const ctxSwitch = 15 * sim.Microsecond
 const sliceMax = 20 * sim.Microsecond
 
 type procState struct {
-	vmID  mem.ProcID
-	sp    *sched.Proc
-	spec  *workload.ProcSpec
-	gen   workload.Generator
-	alive bool
+	vmID mem.ProcID
+	sp   *sched.Proc
+	spec *workload.ProcSpec
+	// specIdx is spec's index in the workload's Procs slice — the stable,
+	// shardable identity used wherever per-spec state is kept (pointer-keyed
+	// maps are banned: ranging one is latent nondeterminism, and pointers
+	// cannot be merged deterministically across lanes).
+	specIdx int
+	gen     workload.Generator
+	alive   bool
 	// slotGen distinguishes successive occupants of a reused vm ProcID slot,
 	// so a typed wake event scheduled for an exited process cannot wake its
 	// successor (the closure path pins the exact procState instead).
@@ -71,7 +76,11 @@ type System struct {
 	opt  Options
 	cfg  topology.Config
 
+	// Exactly one of eng (single-heap; Shards <= 1) and seng (per-node
+	// event lanes; Shards > 1) is non-nil; engine.go's wrappers dispatch to
+	// whichever exists.
 	eng      *sim.Engine
+	seng     *sim.Sharded
 	rng      *sim.Rand
 	val      *cache.Validity
 	allocs   *alloc.Allocator
@@ -111,11 +120,13 @@ type System struct {
 
 	live          int
 	pendingSpawns int
-	respawnsLeft  map[*workload.ProcSpec]int
-	completedAt   sim.Time
-	// codeReplicated tracks first-touch code replication (the 7.2.3
-	// ablation): set of (page,node) already copied.
-	codeReplDone map[uint64]bool
+	// respawnsLeft is indexed by proc-spec index (procState.specIdx): the
+	// remaining respawn budget for churning specs, counted down from
+	// MaxRespawns. The replaced pointer-keyed map had identical semantics
+	// but was a latent nondeterminism hazard and could never be sharded or
+	// merged deterministically across lanes.
+	respawnsLeft []int
+	completedAt  sim.Time
 }
 
 type specAdapter struct{ s *workload.Spec }
@@ -144,12 +155,14 @@ func NewSystem(spec *workload.Spec, opt Options) (*System, error) {
 		spec:         spec,
 		opt:          opt,
 		cfg:          cfg,
-		eng:          &sim.Engine{},
 		rng:          sim.NewRand(opt.Seed ^ 0xabcdef),
 		seedGen:      sim.NewRand(opt.Seed*2654435761 + 1),
 		deadline:     4 * opt.Duration, // hard cap; completion usually ends the run
-		codeReplDone: map[uint64]bool{},
-		respawnsLeft: map[*workload.ProcSpec]int{},
+		respawnsLeft: make([]int, len(spec.Procs)),
+	}
+	s.buildEngine()
+	for i := range spec.Procs {
+		s.respawnsLeft[i] = spec.Procs[i].MaxRespawns
 	}
 	s.val = cache.NewValidity(spec.Pages)
 	s.allocs = alloc.New(cfg.Nodes, cfg.FramesPerNode())
@@ -178,7 +191,7 @@ func NewSystem(spec *workload.Spec, opt Options) (*System, error) {
 	}
 
 	if opt.Faults.Enabled() {
-		s.inj = fault.New(opt.Faults, opt.Seed, func() sim.Time { return s.eng.Now() })
+		s.inj = fault.New(opt.Faults, opt.Seed, s.now)
 		s.allocs.FailHook = s.inj.AllocShouldFail
 		s.mems.ExtraRemote = s.inj.ExtraRemoteLatency
 		if s.pg != nil {
@@ -211,12 +224,7 @@ func NewSystem(spec *workload.Spec, opt Options) (*System, error) {
 		// record) so the trace does not re-grow throughout the run.
 		s.tracer = trace.WithCapacity(traceCapacity(opt.Duration, cfg))
 	}
-	s.stepKind = s.eng.Register(func(now sim.Time, arg uint64) {
-		s.step(s.cpus[arg], now)
-	})
-	s.wakeKind = s.eng.Register(func(now sim.Time, arg uint64) {
-		s.wakeProc(mem.ProcID(arg>>32), uint32(arg))
-	})
+	s.registerKinds()
 	s.wireObservability()
 
 	s.wireKernelRegions()
@@ -304,7 +312,7 @@ func (s *System) onHotBatch(batch []directory.HotRef) {
 		}
 		if delay > 0 {
 			//numalint:allow hotpath fault-injected delay path, cold by construction
-			s.eng.At(s.eng.Now()+delay, func(sim.Time) { s.queueBatch(cp) })
+			s.schedAt(s.now()+delay, func(sim.Time) { s.queueBatch(cp) })
 			return
 		}
 	}
@@ -382,14 +390,16 @@ func (s *System) shootdown(now sim.Time, initiator mem.CPUID, pages []mem.GPage)
 	return w
 }
 
-// addProc creates a live process from its spec.
-func (s *System) addProc(ps *workload.ProcSpec) *procState {
+// addProc creates a live process from its spec; specIdx is the spec's index
+// in the workload's Procs slice.
+func (s *System) addProc(ps *workload.ProcSpec, specIdx int) *procState {
 	id := s.vmm.AddProcess()
 	p := &procState{
-		vmID:  id,
-		spec:  ps,
-		gen:   ps.Gen,
-		alive: true,
+		vmID:    id,
+		spec:    ps,
+		specIdx: specIdx,
+		gen:     ps.Gen,
+		alive:   true,
 		sp: &sched.Proc{
 			ID:  id,
 			Pin: ps.Pin,
@@ -430,18 +440,14 @@ func (s *System) exitProc(p *procState) {
 	s.procs[p.vmID] = nil
 	s.live--
 	if p.spec.Respawn {
-		left, seen := s.respawnsLeft[p.spec]
-		if !seen {
-			left = p.spec.MaxRespawns
-		}
-		if left != 0 {
-			s.respawnsLeft[p.spec] = left - 1
+		if left := s.respawnsLeft[p.specIdx]; left != 0 {
+			s.respawnsLeft[p.specIdx] = left - 1
 			p.spec.Gen.Reset(s.seedGen.Uint64())
-			s.addProc(p.spec)
+			s.addProc(p.spec, p.specIdx)
 		}
 	}
 	if s.finished() && s.completedAt == 0 {
-		s.completedAt = s.eng.Now()
+		s.completedAt = s.now()
 	}
 }
 

@@ -8,12 +8,13 @@ import (
 
 // determinism enforces the byte-identical-output guarantee at the source
 // level: within the deterministic packages, the same seed must produce the
-// same bytes at any -j, so nothing there may read the wall clock, draw from
-// the global math/rand source, race channels through select, or iterate a
-// map in an order-dependent way.
+// same bytes at any -j or -shards, so nothing there may read the wall clock,
+// draw from the global math/rand source, race channels through select, poll
+// channel readiness with a default clause, let the host's CPU count steer
+// behavior, or iterate a map in an order-dependent way.
 var determinism = &Analyzer{
 	Name: "determinism",
-	Doc:  "flag wall-clock reads, global math/rand, multi-channel selects, and order-dependent map iteration in the deterministic packages",
+	Doc:  "flag wall-clock reads, global math/rand, racy or polling selects, host-CPU-count reads, and order-dependent map iteration in the deterministic packages",
 	Run:  runDeterminism,
 }
 
@@ -34,6 +35,7 @@ func runDeterminism(p *Pass) {
 			case *ast.CallExpr:
 				checkWallClock(p, n)
 				checkGlobalRand(p, n)
+				checkHostCPUCount(p, n)
 			case *ast.SelectStmt:
 				checkSelect(p, n)
 			case *ast.RangeStmt:
@@ -92,16 +94,40 @@ func checkGlobalRand(p *Pass, call *ast.CallExpr) {
 		"%s.%s draws from the global random source; use a seeded sim.Rand stream", pkg, name)
 }
 
+// checkHostCPUCount flags reads of the host's CPU configuration. The lane
+// engine's worker count (like the harness's -j) must never influence
+// simulation output, so deterministic code cannot branch on how many CPUs
+// the host machine happens to have.
+func checkHostCPUCount(p *Pass, call *ast.CallExpr) {
+	pkg, name, ok := pkgFunc(calleeFunc(p, call))
+	if ok && pkg == "runtime" && (name == "NumCPU" || name == "GOMAXPROCS") {
+		p.Reportf(call.Pos(),
+			"runtime.%s makes behaviour depend on the host's CPU count; worker counts must not influence output", name)
+	}
+}
+
 func checkSelect(p *Pass, sel *ast.SelectStmt) {
-	comms := 0
+	comms, hasDefault := 0, false
 	for _, cl := range sel.Body.List {
-		if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil {
-			comms++
+		if cc, ok := cl.(*ast.CommClause); ok {
+			if cc.Comm != nil {
+				comms++
+			} else {
+				hasDefault = true
+			}
 		}
 	}
 	if comms >= 2 {
 		p.Reportf(sel.Pos(),
 			"select over %d channels resolves nondeterministically when more than one is ready", comms)
+		return
+	}
+	// A single-channel select with a default clause is a readiness poll: the
+	// branch taken depends on goroutine scheduling timing, which the epoch
+	// barrier deliberately keeps out of the merge order.
+	if hasDefault && comms >= 1 {
+		p.Reportf(sel.Pos(),
+			"select with a default clause polls channel readiness; the branch taken depends on scheduling timing")
 	}
 }
 

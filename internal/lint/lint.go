@@ -7,9 +7,11 @@
 //
 //   - determinism: inside the deterministic packages (sim, core, obs,
 //     report), flag wall-clock reads (time.Now/time.Since), the global
-//     math/rand source, select statements that race multiple channels, and
-//     map iteration whose body is order-dependent — each one a way to make
-//     two runs of the same seed diverge.
+//     math/rand source, select statements that race multiple channels or
+//     poll readiness through a default clause, reads of the host's CPU
+//     count (runtime.NumCPU/GOMAXPROCS), and map iteration whose body is
+//     order-dependent — each one a way to make two runs of the same seed
+//     diverge, including across worker or shard counts.
 //   - hotpath: functions annotated //numalint:hotpath must not contain
 //     allocation-inducing constructs: closure literals, fmt calls, append
 //     whose result is not reassigned over its own backing slice, or values

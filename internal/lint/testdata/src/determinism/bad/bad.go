@@ -5,6 +5,7 @@ package bad
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"time"
 )
 
@@ -28,6 +29,26 @@ func RacySelect(a, b chan int) int {
 	case v := <-b:
 		return v
 	}
+}
+
+// PollingSelect polls channel readiness: the branch taken depends on
+// goroutine scheduling timing.
+func PollingSelect(a chan int) (int, bool) {
+	select {
+	case v := <-a:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// HostCPUCount lets the host machine's CPU configuration steer behaviour.
+func HostCPUCount() int {
+	workers := runtime.NumCPU()
+	if workers > runtime.GOMAXPROCS(0) {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return workers
 }
 
 // MapOrder prints in iteration order.

@@ -49,12 +49,11 @@ func Prune(m map[string]int) {
 	}
 }
 
-// OneCommSelect has a single channel case plus default: no race.
-func OneCommSelect(a chan int) (int, bool) {
+// BlockingSelect waits on a single channel with no default: it cannot race
+// and cannot poll, so the outcome is independent of scheduling timing.
+func BlockingSelect(a chan int) int {
 	select {
 	case v := <-a:
-		return v, true
-	default:
-		return 0, false
+		return v
 	}
 }

@@ -52,6 +52,11 @@ type Harness struct {
 	// run that exceeds it fails (its goroutine is abandoned — the simulator
 	// has no preemption points — so timeouts should be generous).
 	RunTimeout time.Duration
+	// Shards is forwarded to every run's core.Options.Shards: the number of
+	// per-node event lanes inside each simulation. Purely an execution knob —
+	// shard count is excluded from the options fingerprint, so it can never
+	// perturb memo keys or results.
+	Shards int
 	// KeepGoing turns a run's final failure into a placeholder Result
 	// (Failed=true) plus a RunFailure record instead of a panic, so the rest
 	// of a grid still completes. Off, the first failure panics with the
@@ -194,6 +199,7 @@ func runKey(wl string, opt core.Options) string {
 // finishes and shares its Result.
 func (h *Harness) Run(wl string, opt core.Options) *core.Result {
 	opt.Seed = h.Seed
+	opt.Shards = h.Shards
 	key := runKey(wl, opt)
 
 	h.mu.Lock()
@@ -218,6 +224,12 @@ func (h *Harness) Run(wl string, opt core.Options) *core.Result {
 	res, attempts, timedOut, err := h.attempt(wl, opt)
 	if err != nil {
 		h.mu.Lock()
+		// Evict the memo slot: the placeholder below answers callers already
+		// blocked on this entry, but a later call for the same key must get a
+		// fresh simulation, not a cached Failed result. (Leaving the entry in
+		// place once poisoned the memo — every -keep-going re-query of a run
+		// that had failed transiently returned the placeholder forever.)
+		delete(h.runs, key)
 		h.failures = append(h.failures, RunFailure{
 			Workload:    wl,
 			ID:          fmt.Sprintf("%016x", keyID(key)),

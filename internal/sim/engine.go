@@ -34,6 +34,22 @@ type Engine struct {
 	heap     []item
 	fired    uint64
 	handlers []Handler
+
+	// Periodic schedules share one registered kind (periodicKind) whose arg
+	// indexes periodics, so calling Every any number of times grows the
+	// handler table by at most one entry — repeated periodic scheduling must
+	// be O(1) in table growth (a sharded engine re-arms periodics per epoch).
+	periodics    []periodic
+	periodicKind Kind
+	hasPeriodic  bool
+}
+
+// periodic is one Every schedule: the callback, its period, and its stop
+// predicate, re-armed by the shared periodic tick handler.
+type periodic struct {
+	period Time
+	fn     Event
+	stop   func() bool
 }
 
 // Now returns the current virtual time.
@@ -105,21 +121,29 @@ func (e *Engine) AfterKind(d Time, k Kind, arg uint64) {
 }
 
 // Every schedules fn at now+period, now+2*period, ... until stop returns
-// true (checked after each firing). The tick is one registered typed event
-// re-armed with AfterKind, so a periodic schedule costs one registration up
-// front and nothing per period.
+// true (checked after each firing). All periodic schedules share one
+// registered tick handler whose arg indexes the periodics table, so repeated
+// Every calls grow the handler table by at most one entry and each period
+// costs one allocation-free AfterKind re-arm.
 func (e *Engine) Every(period Time, fn Event, stop func() bool) {
 	if period <= 0 {
 		panic("sim: non-positive period")
 	}
-	var kind Kind
-	kind = e.Register(func(now Time, _ uint64) {
-		fn(now)
-		if stop == nil || !stop() {
-			e.AfterKind(period, kind, 0)
-		}
-	})
-	e.AfterKind(period, kind, 0)
+	if !e.hasPeriodic {
+		e.periodicKind = e.Register(e.periodicTick)
+		e.hasPeriodic = true
+	}
+	e.periodics = append(e.periodics, periodic{period: period, fn: fn, stop: stop})
+	e.AfterKind(period, e.periodicKind, uint64(len(e.periodics)-1))
+}
+
+// periodicTick fires one periodic schedule and re-arms it unless stopped.
+func (e *Engine) periodicTick(now Time, arg uint64) {
+	p := &e.periodics[arg]
+	p.fn(now)
+	if p.stop == nil || !p.stop() {
+		e.AfterKind(p.period, e.periodicKind, arg)
+	}
 }
 
 // Step dispatches the next event, advancing the clock to its time. It

@@ -1,0 +1,573 @@
+package sim
+
+import (
+	"sort"
+	"sync"
+)
+
+// Sharded is a discrete-event simulator whose event queue is partitioned
+// into per-lane heaps. A lane is the unit of locality: a CC-NUMA run maps
+// each machine node (its CPUs, caches, TLBs, and local frame pool) onto one
+// lane, so every event that touches only one node's hardware lives in that
+// node's heap.
+//
+// The engine has two drive modes.
+//
+// Serialized merge (Step/Run/RunUntil): one goroutine dispatches the global
+// minimum over the lane heads, ordered by (time, schedule order). Because
+// the schedule-order counter is engine-global in this mode, the dispatch
+// sequence is exactly the sequence a single-heap Engine would produce for
+// the same schedule calls — sharding is observationally invisible, which is
+// what lets core gate `-shards N` on byte-identical output against the
+// single-heap path. Handlers may freely touch state owned by any lane.
+//
+// Concurrent epochs (RunEpochs): the lanes advance in parallel under an
+// epoch barrier. Each epoch spans [base, base+lookahead), where base is the
+// earliest pending event and lookahead must not exceed the minimum
+// cross-lane latency (for the NUMA machine: the minimum remote-miss latency
+// from internal/interconnect — no effect can cross nodes faster). Within an
+// epoch a lane dispatches only its own heap; cross-lane effects (remote
+// misses, TLB shootdowns, hot-page interrupt batches, migrations) must be
+// posted as typed events through Lane.AtKind, which routes them into a
+// per-lane outbound mailbox. At the barrier all mailboxes are drained in
+// (time, source lane, source sequence) order — a total order independent of
+// goroutine scheduling — so runs are deterministic at any worker count.
+// Handlers used in this mode must be lane-confined: they may only touch
+// state owned by the lane they fire on. Scheduling a cross-lane event
+// inside the current epoch window panics, which makes the lookahead safety
+// argument checkable at runtime.
+//
+// Equal-time tie-breaking differs between the modes: the serialized merge
+// preserves global schedule order exactly, while epoch mode orders a
+// cross-lane arrival after lane-local events already scheduled for the same
+// instant. Models whose cross-lane latencies avoid exact ties (as the NUMA
+// latencies do) behave identically under both.
+type Sharded struct {
+	handlers []LaneHandler
+	laneFns  []func(arg uint64) int
+	lanes    []*Lane
+
+	// lookahead is the epoch window for RunEpochs: the minimum virtual-time
+	// distance any cross-lane effect must travel.
+	lookahead Time
+
+	// Serialized-merge state: a global clock and schedule-order counter,
+	// exactly mirroring Engine.
+	now   Time
+	seq   uint64
+	fired uint64
+
+	// concurrent is true only inside RunEpochs, switching Lane scheduling
+	// from the global sequence stream to lane-local streams and mailboxes.
+	concurrent bool
+
+	// posts is the barrier's merge scratch, reused across epochs.
+	posts []post
+
+	// Periodic schedules share one registered kind, as in Engine.
+	periodics    []periodic
+	periodicKind Kind
+	hasPeriodic  bool
+}
+
+// LaneHandler is a typed event callback for the sharded engine. It receives
+// the lane the event fired on; in concurrent epoch mode all rescheduling
+// must go through that lane so it lands in the right heap or mailbox.
+type LaneHandler func(l *Lane, now Time, arg uint64)
+
+// Lane is one partition of the event queue and the scheduling handle passed
+// to handlers.
+type Lane struct {
+	s    *Sharded
+	idx  int32
+	heap []item
+
+	// Concurrent-mode state: the lane's own clock, sequence stream, fired
+	// count, epoch window end, and outbound cross-lane mailbox.
+	now      Time
+	seq      uint64
+	fired    uint64
+	epochEnd Time
+	out      []post
+}
+
+// post is one cross-lane typed event waiting in a mailbox for the epoch
+// barrier.
+type post struct {
+	at   Time
+	seq  uint64 // source lane's schedule order, for the deterministic drain
+	arg  uint64
+	kind Kind
+	src  int32
+	dst  int32
+}
+
+// NewSharded builds a sharded engine with the given lane count. lookahead
+// is the epoch window for RunEpochs — size it to the minimum cross-lane
+// latency of the model (pass 0 if only the serialized merge will be used).
+func NewSharded(lanes int, lookahead Time) *Sharded {
+	if lanes < 1 {
+		panic("sim: sharded engine needs at least one lane")
+	}
+	if lookahead < 0 {
+		panic("sim: negative lookahead")
+	}
+	s := &Sharded{lookahead: lookahead}
+	s.lanes = make([]*Lane, lanes)
+	for i := range s.lanes {
+		s.lanes[i] = &Lane{s: s, idx: int32(i)}
+	}
+	return s
+}
+
+// Lanes returns the lane count.
+func (s *Sharded) Lanes() int { return len(s.lanes) }
+
+// Lane returns lane i (for tests and model setup).
+func (s *Sharded) Lane(i int) *Lane { return s.lanes[i] }
+
+// Lookahead returns the epoch window the engine was built with.
+func (s *Sharded) Lookahead() Time { return s.lookahead }
+
+// Now returns the current virtual time of the serialized merge.
+func (s *Sharded) Now() Time { return s.now }
+
+// Fired returns the number of events dispatched so far.
+func (s *Sharded) Fired() uint64 { return s.fired }
+
+// Pending returns the number of scheduled events not yet dispatched, across
+// all lanes and mailboxes.
+func (s *Sharded) Pending() int {
+	n := 0
+	for _, l := range s.lanes {
+		n += len(l.heap) + len(l.out)
+	}
+	return n
+}
+
+// Register installs h in the handler table and returns its Kind. laneOf
+// maps a scheduling-time arg to the lane that owns the event; nil pins the
+// kind to lane 0 (machine-global work).
+func (s *Sharded) Register(h LaneHandler, laneOf func(arg uint64) int) Kind {
+	if h == nil {
+		panic("sim: nil handler")
+	}
+	s.handlers = append(s.handlers, h)
+	s.laneFns = append(s.laneFns, laneOf)
+	return Kind(len(s.handlers) - 1)
+}
+
+// laneOf resolves the owning lane for a typed event.
+func (s *Sharded) laneOf(k Kind, arg uint64) int {
+	if fn := s.laneFns[k]; fn != nil {
+		if d := fn(arg); d > 0 && d < len(s.lanes) {
+			return d
+		}
+	}
+	return 0
+}
+
+// At schedules a closure event. Closures carry no lane affinity, so they
+// live on lane 0; the serialized merge dispatches them in exact global
+// schedule order regardless.
+func (s *Sharded) At(at Time, fn Event) {
+	if at < s.now {
+		panic("sim: event scheduled in the past")
+	}
+	s.seq++
+	s.lanes[0].push(item{at: at, seq: s.seq, fn: fn, kind: noKind})
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (s *Sharded) After(d Time, fn Event) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	s.At(s.now+d, fn)
+}
+
+// AtKind schedules the handler registered under k at absolute time at,
+// pushing it onto its owning lane's heap with the global schedule-order
+// sequence, so the serialized merge reproduces single-heap order exactly.
+//
+//numalint:hotpath
+func (s *Sharded) AtKind(at Time, k Kind, arg uint64) {
+	if at < s.now {
+		panic("sim: event scheduled in the past")
+	}
+	if k < 0 || int(k) >= len(s.handlers) {
+		panic("sim: unregistered event kind")
+	}
+	s.seq++
+	s.lanes[s.laneOf(k, arg)].push(item{at: at, seq: s.seq, kind: k, arg: arg})
+}
+
+// AfterKind schedules the handler registered under k to run d nanoseconds
+// from now.
+//
+//numalint:hotpath
+func (s *Sharded) AfterKind(d Time, k Kind, arg uint64) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	s.AtKind(s.now+d, k, arg)
+}
+
+// Every schedules fn at now+period, now+2*period, ... until stop returns
+// true. As in Engine, every periodic schedule shares one registered kind:
+// table growth is O(1) no matter how many times Every is called or how
+// often epochs re-arm the tick.
+func (s *Sharded) Every(period Time, fn Event, stop func() bool) {
+	if period <= 0 {
+		panic("sim: non-positive period")
+	}
+	if !s.hasPeriodic {
+		s.periodicKind = s.Register(func(l *Lane, now Time, arg uint64) {
+			p := &s.periodics[arg]
+			p.fn(now)
+			if p.stop == nil || !p.stop() {
+				l.AtKind(now+p.period, s.periodicKind, arg)
+			}
+		}, nil)
+		s.hasPeriodic = true
+	}
+	s.periodics = append(s.periodics, periodic{period: period, fn: fn, stop: stop})
+	s.AfterKind(period, s.periodicKind, uint64(len(s.periodics)-1))
+}
+
+// Step dispatches the globally next event — the minimum (time, schedule
+// order) over the lane heads — advancing the clock to its time. It returns
+// false when no events remain.
+//
+//numalint:hotpath
+func (s *Sharded) Step() bool {
+	best := -1
+	for i, l := range s.lanes {
+		if len(l.heap) == 0 {
+			continue
+		}
+		if best < 0 || headLess(l.heap[0], s.lanes[best].heap[0]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return false
+	}
+	l := s.lanes[best]
+	top := l.pop()
+	s.now = top.at
+	s.fired++
+	if top.fn != nil {
+		top.fn(s.now)
+	} else {
+		s.handlers[top.kind](l, s.now, top.arg)
+	}
+	return true
+}
+
+// RunUntil dispatches events in merge order until the queue drains or the
+// next event is after deadline, then advances the clock to deadline —
+// matching Engine.RunUntil's clock contract.
+func (s *Sharded) RunUntil(deadline Time) {
+	for {
+		at, ok := s.minHead()
+		if !ok || at > deadline {
+			break
+		}
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// Run dispatches events until none remain.
+func (s *Sharded) Run() {
+	for s.Step() {
+	}
+}
+
+// minHead returns the earliest pending event time across lanes.
+func (s *Sharded) minHead() (Time, bool) {
+	var min Time
+	ok := false
+	for _, l := range s.lanes {
+		if len(l.heap) == 0 {
+			continue
+		}
+		if !ok || l.heap[0].at < min {
+			min = l.heap[0].at
+			ok = true
+		}
+	}
+	return min, ok
+}
+
+// headLess orders two lane heads by (time, schedule order).
+func headLess(a, b item) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// RunEpochs advances the lanes concurrently until no events remain at or
+// before deadline, then advances the clock to deadline. workers bounds the
+// goroutines driving lanes (values below 1 mean one).
+//
+// Correctness contract: every handler reachable in this mode must be
+// lane-confined (touch only state owned by its lane), and every cross-lane
+// effect must be a typed event scheduled at least `lookahead` after the
+// moment it is sent. Violations of the second rule panic at the scheduling
+// call; violations of the first are data races (run the model under -race).
+func (s *Sharded) RunEpochs(workers int, deadline Time) {
+	if s.concurrent {
+		panic("sim: RunEpochs re-entered")
+	}
+	if s.lookahead <= 0 {
+		panic("sim: RunEpochs needs a positive lookahead window")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(s.lanes) {
+		workers = len(s.lanes)
+	}
+	s.concurrent = true
+	for _, l := range s.lanes {
+		l.now = s.now
+		// Continue each lane's sequence stream past every global sequence
+		// already in the heaps, so pre-existing items keep their priority.
+		l.seq = s.seq
+	}
+	for {
+		base, ok := s.minHead()
+		if !ok || base > deadline {
+			break
+		}
+		end := base + s.lookahead
+		if end > deadline {
+			// The final epoch is clamped so events exactly at the deadline
+			// still run (lanes process at < end).
+			end = deadline + 1
+		}
+		// Lanes park at the barrier, but never past the deadline: the final
+		// epoch's window is deadline+1 so deadline-instant events dispatch,
+		// and the clock contract (Now ends at the deadline) still holds.
+		park := end
+		if park > deadline {
+			park = deadline
+		}
+		for _, l := range s.lanes {
+			l.epochEnd = end
+		}
+		// A panic inside a lane (a model bug, or the cross-lane window check)
+		// is captured and re-raised on the caller's goroutine — lowest lane
+		// first, so even failure is deterministic.
+		laneErrs := make([]any, len(s.lanes))
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(s.lanes); i += workers {
+					func(i int) {
+						defer func() { laneErrs[i] = recover() }()
+						s.lanes[i].runTo(end, park)
+					}(i)
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, r := range laneErrs {
+			if r != nil {
+				s.concurrent = false
+				panic(r)
+			}
+		}
+		s.drainMailboxes()
+	}
+	for _, l := range s.lanes {
+		s.fired += l.fired
+		l.fired = 0
+		if l.now > s.now {
+			s.now = l.now
+		}
+		if l.seq > s.seq {
+			s.seq = l.seq
+		}
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+	s.concurrent = false
+}
+
+// drainMailboxes delivers every cross-lane post in (time, source lane,
+// source sequence) order — a total order fixed by the model, not by which
+// goroutine reached the barrier first — assigning destination-lane sequence
+// numbers in that order.
+func (s *Sharded) drainMailboxes() {
+	posts := s.posts[:0]
+	for _, l := range s.lanes {
+		posts = append(posts, l.out...)
+		l.out = l.out[:0]
+	}
+	sort.Slice(posts, func(i, j int) bool {
+		a, b := posts[i], posts[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.seq < b.seq
+	})
+	for i := range posts {
+		p := &posts[i]
+		d := s.lanes[p.dst]
+		d.seq++
+		d.push(item{at: p.at, seq: d.seq, kind: p.kind, arg: p.arg})
+	}
+	s.posts = posts[:0]
+}
+
+// runTo dispatches the lane's events strictly before end, then parks the
+// lane clock at the barrier (park, which is end clamped to the deadline).
+func (l *Lane) runTo(end, park Time) {
+	for len(l.heap) > 0 && l.heap[0].at < end {
+		top := l.pop()
+		l.now = top.at
+		l.fired++
+		if top.fn != nil {
+			top.fn(l.now)
+		} else {
+			l.s.handlers[top.kind](l, l.now, top.arg)
+		}
+	}
+	if l.now < park {
+		l.now = park
+	}
+}
+
+// Index returns the lane's position in the engine.
+func (l *Lane) Index() int { return int(l.idx) }
+
+// Now returns the lane's clock: the lane-local clock inside an epoch, the
+// engine clock under the serialized merge.
+func (l *Lane) Now() Time {
+	if l.s.concurrent {
+		return l.now
+	}
+	return l.s.now
+}
+
+// AtKind schedules a typed event from handler context. Under the
+// serialized merge it is the engine-level AtKind (global schedule order).
+// In concurrent epoch mode a lane-local event goes straight onto this
+// lane's heap, and a cross-lane event goes to the outbound mailbox — where
+// scheduling it inside the current epoch window panics, because delivery
+// happens at the barrier and an intra-window arrival would have been
+// dispatched too late.
+//
+//numalint:hotpath
+func (l *Lane) AtKind(at Time, k Kind, arg uint64) {
+	s := l.s
+	if !s.concurrent {
+		s.AtKind(at, k, arg)
+		return
+	}
+	if at < l.now {
+		panic("sim: event scheduled in the past")
+	}
+	if k < 0 || int(k) >= len(s.handlers) {
+		panic("sim: unregistered event kind")
+	}
+	dst := s.laneOf(k, arg)
+	l.seq++
+	if int32(dst) == l.idx {
+		l.push(item{at: at, seq: l.seq, kind: k, arg: arg})
+		return
+	}
+	if at < l.epochEnd {
+		panic("sim: cross-lane event scheduled inside the lookahead window")
+	}
+	l.out = append(l.out, post{at: at, seq: l.seq, kind: k, arg: arg, src: l.idx, dst: int32(dst)})
+}
+
+// AfterKind schedules a typed event d nanoseconds from the lane's now.
+//
+//numalint:hotpath
+func (l *Lane) AfterKind(d Time, k Kind, arg uint64) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	l.AtKind(l.Now()+d, k, arg)
+}
+
+// At schedules a closure event from handler context. Closures cannot cross
+// lanes (a mailbox carries only typed {kind, arg} posts), so in concurrent
+// mode the event stays on this lane.
+func (l *Lane) At(at Time, fn Event) {
+	s := l.s
+	if !s.concurrent {
+		s.At(at, fn)
+		return
+	}
+	if at < l.now {
+		panic("sim: event scheduled in the past")
+	}
+	l.seq++
+	l.push(item{at: at, seq: l.seq, fn: fn, kind: noKind})
+}
+
+// After schedules a closure event d nanoseconds from the lane's now.
+func (l *Lane) After(d Time, fn Event) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	l.At(l.Now()+d, fn)
+}
+
+// push inserts an item into the lane heap.
+//
+//numalint:hotpath
+func (l *Lane) push(it item) {
+	l.heap = append(l.heap, it)
+	i := len(l.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !headLess(l.heap[i], l.heap[p]) {
+			break
+		}
+		l.heap[i], l.heap[p] = l.heap[p], l.heap[i]
+		i = p
+	}
+}
+
+// pop removes and returns the lane's head item.
+//
+//numalint:hotpath
+func (l *Lane) pop() item {
+	top := l.heap[0]
+	n := len(l.heap) - 1
+	l.heap[0] = l.heap[n]
+	l.heap = l.heap[:n]
+	i := 0
+	for {
+		lc, rc := 2*i+1, 2*i+2
+		small := i
+		if lc < n && headLess(l.heap[lc], l.heap[small]) {
+			small = lc
+		}
+		if rc < n && headLess(l.heap[rc], l.heap[small]) {
+			small = rc
+		}
+		if small == i {
+			break
+		}
+		l.heap[i], l.heap[small] = l.heap[small], l.heap[i]
+		i = small
+	}
+	return top
+}

@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchLaneModel is a lane-confined load for the epoch-mode benchmarks:
+// every lane ticks a state machine each 100ns and posts a cross-lane ping
+// every eighth tick, so each epoch carries both local work and mailbox
+// traffic.
+type benchLaneModel struct {
+	s     *Sharded
+	state []uint64
+	ticks []int
+	tickK Kind
+	pingK Kind
+}
+
+func newBenchLaneModel(lanes int) *benchLaneModel {
+	m := &benchLaneModel{
+		s:     NewSharded(lanes, epochLookahead),
+		state: make([]uint64, lanes),
+		ticks: make([]int, lanes),
+	}
+	laneArg := func(arg uint64) int { return int(arg) % lanes }
+	m.tickK = m.s.Register(func(l *Lane, now Time, arg uint64) {
+		i := l.Index()
+		m.state[i] = m.state[i]*0x9e3779b97f4a7c15 + uint64(now)
+		m.ticks[i]++
+		l.AtKind(now+100, m.tickK, arg)
+		if m.ticks[i]%8 == 0 {
+			dst := uint64((i + 1) % len(m.state))
+			l.AtKind(now+epochLookahead+63, m.pingK, dst)
+		}
+	}, laneArg)
+	m.pingK = m.s.Register(func(l *Lane, now Time, arg uint64) {
+		m.state[l.Index()] ^= uint64(now) * 0x2545f4914f6cdd1d
+	}, laneArg)
+	for i := 0; i < lanes; i++ {
+		m.s.AtKind(Time(100), m.tickK, uint64(i))
+	}
+	return m
+}
+
+// BenchmarkShardedEpochs measures the epoch-barrier engine on a lane-confined
+// model at several worker counts, against the serialized merge and the
+// single-heap Engine as baselines. Wall-clock gains need real CPUs; on a
+// single-CPU host this records the barrier and mailbox overhead instead.
+func BenchmarkShardedEpochs(b *testing.B) {
+	const lanes = 4
+	const horizon = 2 * Millisecond
+	b.Run("single-heap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := &Engine{}
+			var state uint64
+			var tick Kind
+			tick = e.Register(func(now Time, arg uint64) {
+				state = state*0x9e3779b97f4a7c15 + uint64(now)
+				e.AtKind(now+100, tick, arg)
+			})
+			for j := 0; j < lanes; j++ {
+				e.AtKind(Time(100), tick, uint64(j))
+			}
+			e.RunUntil(horizon)
+		}
+	})
+	b.Run("serialized-merge", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			newBenchLaneModel(lanes).s.RunUntil(horizon)
+		}
+	})
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("epochs/workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				newBenchLaneModel(lanes).s.RunEpochs(workers, horizon)
+			}
+		})
+	}
+}

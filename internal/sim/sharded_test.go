@@ -1,0 +1,259 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// fireRec is one dispatched event in a test log.
+type fireRec struct {
+	At   Time
+	Kind int
+	Arg  uint64
+}
+
+// TestShardedSerialMatchesEngine drives the same randomized self-scheduling
+// model through a single-heap Engine and a 3-lane Sharded engine under the
+// serialized merge, and requires the dispatch sequences to be identical —
+// the property core's `-shards N` byte-identity rests on.
+func TestShardedSerialMatchesEngine(t *testing.T) {
+	const lanes = 3
+	model := func(register func(h func(now Time, arg uint64)) (fire func(at Time, arg uint64)), run func()) []fireRec {
+		var log []fireRec
+		rng := NewRand(99)
+		var fire func(at Time, arg uint64)
+		fire = register(func(now Time, arg uint64) {
+			log = append(log, fireRec{At: now, Kind: 0, Arg: arg})
+			// Reschedule with a random delay; occasionally fan out to a
+			// different arg (in the sharded engine: a different lane).
+			if len(log) < 4000 {
+				fire(now+Time(1+rng.Intn(500)), arg)
+				if rng.Bool(0.3) {
+					fire(now+Time(1+rng.Intn(500)), rng.Uint64()%64)
+				}
+			}
+		})
+		for i := uint64(0); i < 8; i++ {
+			fire(Time(i*7), i)
+		}
+		run()
+		return log
+	}
+
+	var eng Engine
+	engLog := model(func(h func(Time, uint64)) func(Time, uint64) {
+		k := eng.Register(h)
+		return func(at Time, arg uint64) { eng.AtKind(at, k, arg) }
+	}, func() { eng.RunUntil(2 * Millisecond) })
+
+	sh := NewSharded(lanes, 0)
+	shLog := model(func(h func(Time, uint64)) func(Time, uint64) {
+		k := sh.Register(func(_ *Lane, now Time, arg uint64) { h(now, arg) },
+			func(arg uint64) int { return int(arg % lanes) })
+		return func(at Time, arg uint64) { sh.AtKind(at, k, arg) }
+	}, func() { sh.RunUntil(2 * Millisecond) })
+
+	if len(engLog) == 0 {
+		t.Fatal("model fired no events")
+	}
+	if !reflect.DeepEqual(engLog, shLog) {
+		for i := range engLog {
+			if i >= len(shLog) || engLog[i] != shLog[i] {
+				t.Fatalf("dispatch diverged at event %d: engine %+v, sharded %+v (lengths %d vs %d)",
+					i, engLog[i], shLog[min(i, len(shLog)-1)], len(engLog), len(shLog))
+			}
+		}
+		t.Fatalf("sharded log longer than engine log: %d vs %d", len(shLog), len(engLog))
+	}
+	if eng.Now() != sh.Now() || eng.Fired() != sh.Fired() {
+		t.Fatalf("clocks diverged: engine %v/%d, sharded %v/%d",
+			eng.Now(), eng.Fired(), sh.Now(), sh.Fired())
+	}
+}
+
+// TestShardedSerialMixedClosuresAndEvery checks that closure events and
+// periodic schedules interleave identically on both engines.
+func TestShardedSerialMixedClosuresAndEvery(t *testing.T) {
+	drive := func(at func(Time, Event), every func(Time, Event, func() bool), run func()) []fireRec {
+		var log []fireRec
+		n := 0
+		every(10, func(now Time) {
+			log = append(log, fireRec{At: now, Kind: 1})
+			n++
+		}, func() bool { return n >= 25 })
+		every(7, func(now Time) {
+			log = append(log, fireRec{At: now, Kind: 2})
+		}, func() bool { return n >= 25 })
+		at(33, func(now Time) {
+			log = append(log, fireRec{At: now, Kind: 3})
+			at(now+11, func(now Time) { log = append(log, fireRec{At: now, Kind: 4}) })
+		})
+		run()
+		return log
+	}
+	var eng Engine
+	a := drive(eng.At, eng.Every, eng.Run)
+	sh := NewSharded(4, 0)
+	b := drive(sh.At, sh.Every, sh.Run)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("closure/periodic interleavings diverged:\nengine  %+v\nsharded %+v", a, b)
+	}
+}
+
+// TestEveryHandlerTableGrowth pins the satellite fix: any number of Every
+// calls may grow the handler table by at most one entry, on both engines.
+func TestEveryHandlerTableGrowth(t *testing.T) {
+	var eng Engine
+	eng.Register(func(Time, uint64) {}) // unrelated registration
+	base := len(eng.handlers)
+	for i := 0; i < 1000; i++ {
+		eng.Every(Time(i+1), func(Time) {}, func() bool { return true })
+	}
+	if got := len(eng.handlers) - base; got != 1 {
+		t.Fatalf("1000 Every calls grew the Engine handler table by %d entries, want 1", got)
+	}
+	eng.Run() // every periodic stops after one firing
+
+	sh := NewSharded(2, 0)
+	sbase := len(sh.handlers)
+	for i := 0; i < 1000; i++ {
+		sh.Every(Time(i+1), func(Time) {}, func() bool { return true })
+	}
+	if got := len(sh.handlers) - sbase; got != 1 {
+		t.Fatalf("1000 Every calls grew the Sharded handler table by %d entries, want 1", got)
+	}
+	sh.Run()
+}
+
+// epochModel is a lane-confined toy machine for exercising RunEpochs: each
+// lane owns a counter-mixing state machine ticking every 100ns, and every
+// third tick posts a typed ping to the next lane that arrives lookahead+63ns
+// later (never tying with a local tick, so epoch mode and the serialized
+// merge are order-equivalent per lane).
+type epochModel struct {
+	s     *Sharded
+	state []uint64
+	logs  [][]fireRec
+	ticks []int
+	tickK Kind
+	pingK Kind
+}
+
+const epochLookahead = 250
+
+func newEpochModel(lanes int) *epochModel {
+	m := &epochModel{
+		s:     NewSharded(lanes, epochLookahead),
+		state: make([]uint64, lanes),
+		logs:  make([][]fireRec, lanes),
+		ticks: make([]int, lanes),
+	}
+	laneArg := func(arg uint64) int { return int(arg) % lanes }
+	m.tickK = m.s.Register(m.onTick, laneArg)
+	m.pingK = m.s.Register(m.onPing, laneArg)
+	for i := 0; i < lanes; i++ {
+		m.s.AtKind(Time(100), m.tickK, uint64(i))
+	}
+	return m
+}
+
+func (m *epochModel) onTick(l *Lane, now Time, arg uint64) {
+	i := l.Index()
+	m.state[i] = m.state[i]*0x9e3779b97f4a7c15 + uint64(now)
+	m.logs[i] = append(m.logs[i], fireRec{At: now, Kind: 0, Arg: arg})
+	m.ticks[i]++
+	if m.ticks[i] < 40 {
+		l.AtKind(now+100, m.tickK, arg)
+	}
+	if m.ticks[i]%3 == 0 {
+		dst := uint64((i + 1) % len(m.state))
+		l.AtKind(now+epochLookahead+63, m.pingK, dst)
+	}
+}
+
+func (m *epochModel) onPing(l *Lane, now Time, arg uint64) {
+	i := l.Index()
+	m.state[i] ^= uint64(now) * 0x2545f4914f6cdd1d
+	m.logs[i] = append(m.logs[i], fireRec{At: now, Kind: 1, Arg: arg})
+}
+
+// TestShardedEpochsDeterministicAndLaneEquivalent runs the toy machine
+// through RunEpochs at several worker counts (with real parallelism) and
+// through the serialized merge, and requires (a) identical results at every
+// worker count and (b) per-lane event sequences identical to the serialized
+// run — the conservative-lookahead equivalence the epoch barrier is sized
+// for.
+func TestShardedEpochsDeterministicAndLaneEquivalent(t *testing.T) {
+	const lanes = 4
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	run := func(drive func(m *epochModel)) *epochModel {
+		m := newEpochModel(lanes)
+		drive(m)
+		return m
+	}
+	serial := run(func(m *epochModel) { m.s.RunUntil(Millisecond) })
+	for _, workers := range []int{1, 2, 4} {
+		par := run(func(m *epochModel) { m.s.RunEpochs(workers, Millisecond) })
+		if !reflect.DeepEqual(par.state, serial.state) {
+			t.Fatalf("workers=%d: lane states diverged from serialized merge:\nepoch  %v\nserial %v",
+				workers, par.state, serial.state)
+		}
+		if !reflect.DeepEqual(par.logs, serial.logs) {
+			t.Fatalf("workers=%d: per-lane logs diverged from serialized merge", workers)
+		}
+		if par.s.Now() != serial.s.Now() || par.s.Fired() != serial.s.Fired() {
+			t.Fatalf("workers=%d: clock/fired diverged: epoch %v/%d serial %v/%d",
+				workers, par.s.Now(), par.s.Fired(), serial.s.Now(), serial.s.Fired())
+		}
+	}
+}
+
+// TestShardedEpochsCrossLaneWindowPanics pins the runtime check behind the
+// lookahead safety argument: a cross-lane event scheduled to land inside
+// the current epoch window is an error, not a silent causality violation.
+func TestShardedEpochsCrossLaneWindowPanics(t *testing.T) {
+	s := NewSharded(2, 1000)
+	var k Kind
+	k = s.Register(func(l *Lane, now Time, arg uint64) {
+		if arg == 0 {
+			// Lane 0 posts to lane 1 only 1ns out: inside the window.
+			l.AtKind(now+1, k, 1)
+		}
+	}, func(arg uint64) int { return int(arg) % 2 })
+	s.AtKind(100, k, 0)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("cross-lane schedule inside the lookahead window did not panic")
+		}
+		if msg := fmt.Sprint(r); msg != "sim: cross-lane event scheduled inside the lookahead window" {
+			t.Fatalf("unexpected panic: %v", msg)
+		}
+	}()
+	s.RunEpochs(1, Millisecond)
+}
+
+// TestShardedResumesSerialAfterEpochs checks mode switching: events left
+// pending after RunEpochs (beyond its deadline) still dispatch correctly
+// under the serialized merge afterwards.
+func TestShardedResumesSerialAfterEpochs(t *testing.T) {
+	m := newEpochModel(2)
+	m.s.RunEpochs(2, 600)
+	if m.s.Now() != 600 {
+		t.Fatalf("clock after RunEpochs = %v, want 600", m.s.Now())
+	}
+	before := m.s.Fired()
+	m.s.RunUntil(Millisecond)
+	if m.s.Fired() <= before {
+		t.Fatal("no events dispatched after switching back to the serialized merge")
+	}
+	ref := newEpochModel(2)
+	ref.s.RunUntil(Millisecond)
+	if !reflect.DeepEqual(m.state, ref.state) || !reflect.DeepEqual(m.logs, ref.logs) {
+		t.Fatal("epoch-then-serial run diverged from all-serial run")
+	}
+}
