@@ -3,9 +3,9 @@ GO ?= go
 # Tier-1 verification plus formatting, the race detector, and benchmark
 # smoke runs. `make ci` is what a CI job should run.
 .PHONY: ci fmt-check vet lint build test race fault-smoke bench-smoke \
-	obs-bench-smoke bench bench-json bench-json-smoke
+	obs-bench-smoke obs-shard-smoke bench bench-json bench-json-smoke
 
-ci: fmt-check vet lint build race fault-smoke bench-smoke obs-bench-smoke bench-json-smoke
+ci: fmt-check vet lint build race fault-smoke bench-smoke obs-bench-smoke obs-shard-smoke bench-json-smoke
 
 # gofmt -l prints nonconforming files; any output fails the target.
 fmt-check:
@@ -38,8 +38,9 @@ race:
 		-run 'TestSingleflightUnderConcurrency|TestHarnessPanicIsolation|TestHarnessFailureHammer|TestHarnessFailureEvictedFromMemo' \
 		./internal/report
 	$(GO) test -race -count=1 \
-		-run 'TestShardNeutrality|TestShardedEpochsDeterministicAndLaneEquivalent' \
+		-run 'TestShardNeutrality|TestShardedEpochsDeterministicAndLaneEquivalent|TestShardStatsEpochsDeterministicAcrossWorkers' \
 		./internal/core ./internal/sim
+	$(GO) test -race -count=1 -run 'TestRecorderUnderEpochWorkers' ./internal/obs
 
 # The chaos suite: a full-fault run (drain + drops + transient allocation
 # failures + slow link) must complete deterministically with invariants
@@ -55,7 +56,25 @@ bench-smoke:
 # The disabled-tracer benchmark doubles as the proof that instrumentation
 # costs one branch when off; one iteration keeps CI honest about it building.
 obs-bench-smoke:
-	$(GO) test -run '^$$' -bench BenchmarkTracerDisabled -benchtime 1x ./internal/obs
+	$(GO) test -run '^$$' -bench 'BenchmarkTracerDisabled|BenchmarkRecorderDisabled' -benchtime 1x ./internal/obs
+	$(GO) test -run '^$$' -bench BenchmarkShardStatsDisabled -benchtime 1x ./internal/sim
+
+# The shard-stats export must be byte-deterministic: run the golden workload
+# twice at each lane count and diff the JSONL reports. (Per-lane stats are
+# deterministic per shard count; only the dispatch total is shard-neutral —
+# TestShardStatsNeutral covers that invariant.)
+obs-shard-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/numasim" ./cmd/numasim; \
+	for s in 1 2 4; do \
+		"$$tmp/numasim" -workload engineering -scale 0.05 -duration 4ms \
+			-shards $$s -shardstats "$$tmp/a$$s.jsonl" >/dev/null; \
+		"$$tmp/numasim" -workload engineering -scale 0.05 -duration 4ms \
+			-shards $$s -shardstats "$$tmp/b$$s.jsonl" >/dev/null; \
+		cmp "$$tmp/a$$s.jsonl" "$$tmp/b$$s.jsonl" || \
+			{ echo "obs-shard-smoke: shard-stats not deterministic at -shards $$s"; exit 1; }; \
+	done; \
+	echo "obs-shard-smoke: shard-stats deterministic at shards 1/2/4"
 
 # The full paper-regeneration benchmark suite (see bench_test.go).
 bench:

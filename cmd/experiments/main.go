@@ -46,6 +46,8 @@ func main() {
 		runTimeout   = flag.Duration("run-timeout", 0, "per-simulation wall-clock timeout (0 = none)")
 		keepGoing    = flag.Bool("keep-going", false, "complete the grid past failed runs and write a failure manifest")
 		manifest     = flag.String("manifest", "", "failure-manifest path (default <out>.failures.json or experiments.failures.json)")
+		spansPth     = flag.String("spans", "", "write the harness span timeline (Chrome trace JSON, wall clock) to this file")
+		recorderN    = flag.Int("recorder", 0, "flight-recorder depth: keep the last N obs events per run for failure manifests (0 = off; pair with -keep-going or -retries)")
 	)
 	flag.Parse()
 
@@ -83,6 +85,8 @@ func main() {
 	h.RetryBackoff = *retryBackoff
 	h.RunTimeout = *runTimeout
 	h.KeepGoing = *keepGoing
+	h.CollectSpans = *spansPth != ""
+	h.RecorderDepth = *recorderN
 	if *progress {
 		t0 := time.Now()
 		h.Logf = func(format string, args ...any) {
@@ -101,6 +105,22 @@ func main() {
 		}
 		fmt.Println("wrote", *out)
 	}
+	writeSpans := func() {
+		if *spansPth == "" {
+			return
+		}
+		f, err := os.Create(*spansPth)
+		if err == nil {
+			if err = h.WriteSpans(f); err == nil {
+				err = f.Close()
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return
+		}
+		fmt.Printf("wrote %s (%d spans; load in Perfetto)\n", *spansPth, len(h.Spans()))
+	}
 	stopProf, err := profiling.Start(*cpuProf, *memProf)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -112,6 +132,7 @@ func main() {
 		if r := recover(); r != nil {
 			stopProf()
 			writeOut()
+			writeSpans()
 			fmt.Fprintln(os.Stderr, "experiments:", r)
 			os.Exit(1)
 		}
@@ -165,6 +186,7 @@ func main() {
 	}
 
 	writeOut()
+	writeSpans()
 
 	if failures := h.Failures(); len(failures) > 0 || len(failedExps) > 0 {
 		path := *manifest

@@ -18,8 +18,10 @@ import (
 
 	"ccnuma/internal/core"
 	"ccnuma/internal/fault"
+	"ccnuma/internal/obs"
 	"ccnuma/internal/policy"
 	"ccnuma/internal/profiling"
+	"ccnuma/internal/report"
 	"ccnuma/internal/sim"
 	"ccnuma/internal/stats"
 	"ccnuma/internal/topology"
@@ -44,6 +46,7 @@ func main() {
 		oldMiss   = flag.String("trace", "", "deprecated alias for -misstrace")
 		eventsPth = flag.String("events", "", "write the observability event trace as Chrome trace JSON (load in Perfetto)")
 		jsonlPth  = flag.String("events-jsonl", "", "write the observability event trace as JSONL")
+		shardsPth = flag.String("shardstats", "", "collect per-lane shard stats, print the table, and write the JSONL report to this file")
 		seriesPth = flag.String("timeseries", "", "write the sampled time-series as CSV")
 		interval  = flag.Duration("sample-interval", time.Millisecond, "time-series sampling interval (simulated time)")
 		debug     = flag.Bool("debug-checks", false, "validate accounting invariants on every sample")
@@ -96,13 +99,14 @@ func main() {
 	cfg.DirCopy = *dircopy
 
 	opt := core.Options{
-		Config:        cfg,
-		Seed:          *seed,
-		Shards:        *shards,
-		Duration:      sim.Time(dur.Nanoseconds()),
-		CollectTrace:  *missPth != "",
-		CollectEvents: *eventsPth != "" || *jsonlPth != "",
-		DebugChecks:   *debug,
+		Config:            cfg,
+		Seed:              *seed,
+		Shards:            *shards,
+		Duration:          sim.Time(dur.Nanoseconds()),
+		CollectTrace:      *missPth != "",
+		CollectEvents:     *eventsPth != "" || *jsonlPth != "",
+		CollectShardStats: *shardsPth != "",
+		DebugChecks:       *debug,
 	}
 	if *seriesPth != "" {
 		if *interval <= 0 {
@@ -201,7 +205,9 @@ func main() {
 		fmt.Printf("miss trace: %d records -> %s\n", res.Trace.Len(), *missPth)
 	}
 	if *eventsPth != "" && res.ObsEvents != nil {
-		writeFile(*eventsPth, res.ObsEvents.WriteChromeTrace)
+		writeFile(*eventsPth, func(w io.Writer) error {
+			return res.ObsEvents.WriteChromeTraceWith(w, res.ShardStats)
+		})
 		fmt.Printf("events: %d -> %s (chrome trace; load in Perfetto)\n", res.ObsEvents.Len(), *eventsPth)
 	}
 	if *jsonlPth != "" && res.ObsEvents != nil {
@@ -211,6 +217,13 @@ func main() {
 	if *seriesPth != "" && res.Series != nil {
 		writeFile(*seriesPth, res.Series.WriteCSV)
 		fmt.Printf("timeseries: %d samples -> %s\n", res.Series.Len(), *seriesPth)
+	}
+	if *shardsPth != "" && res.ShardStats != nil {
+		writeFile(*shardsPth, func(w io.Writer) error {
+			return obs.WriteShardStatsJSONL(w, res.ShardStats)
+		})
+		fmt.Print(report.ShardStatsTable(res.ShardStats))
+		fmt.Printf("shard stats: %d lanes -> %s (jsonl)\n", res.ShardStats.Lanes(), *shardsPth)
 	}
 }
 

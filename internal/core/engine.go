@@ -21,9 +21,26 @@ import (
 // engine's epoch window is sized by the minimum cross-node latency — the
 // machine's remote-miss minimum from the interconnect model — because no
 // cross-lane effect can propagate faster than one remote hop.
+//
+// CollectShardStats forces the sharded engine even at Shards <= 1: a
+// one-lane serialized merge is byte-identical to the single-heap engine (the
+// TestShardNeutrality construction), and it is the only engine with lanes to
+// introspect. Its timeline window is Duration/64, so every run yields a
+// deterministic ~64-bucket dispatch profile regardless of length.
 func (s *System) buildEngine() {
-	if s.opt.Shards > 1 {
-		s.seng = sim.NewSharded(s.opt.Shards, s.cfg.RemoteLatency)
+	if s.opt.Shards > 1 || s.opt.CollectShardStats {
+		lanes := s.opt.Shards
+		if lanes < 1 {
+			lanes = 1
+		}
+		s.seng = sim.NewSharded(lanes, s.cfg.RemoteLatency)
+		if s.opt.CollectShardStats {
+			window := s.opt.Duration / 64
+			if window <= 0 {
+				window = 1
+			}
+			s.seng.EnableStats(window)
+		}
 		return
 	}
 	s.eng = &sim.Engine{}
@@ -36,7 +53,7 @@ func (s *System) buildEngine() {
 // while wake events ride lane 0 because the scheduler is machine-global.
 func (s *System) registerKinds() {
 	if s.seng != nil {
-		shards := s.opt.Shards
+		shards := s.seng.Lanes()
 		s.stepKind = s.seng.Register(func(_ *sim.Lane, now sim.Time, arg uint64) {
 			s.step(s.cpus[arg], now)
 		}, func(arg uint64) int { return int(s.cfg.NodeOf(mem.CPUID(arg))) % shards })

@@ -13,8 +13,18 @@ import (
 // directory counters, pager). Called once from NewSystem, after the kernel
 // components exist.
 func (s *System) wireObservability() {
-	if s.opt.CollectEvents {
-		s.events = obs.NewTracer(s.now)
+	if s.opt.CollectEvents || s.opt.Recorder.On() {
+		if s.opt.CollectEvents {
+			s.events = obs.NewTracer(s.now)
+			// With both asked for, the buffered tracer also mirrors into the
+			// flight recorder's ring.
+			s.events.AttachRecorder(s.opt.Recorder)
+		} else {
+			// Recorder-only: events flow straight into the bounded ring, no
+			// unbounded buffer, so a flight recorder is cheap enough to leave
+			// on for every harness run.
+			s.events = obs.NewFlightTracer(s.now, s.opt.Recorder)
+		}
 		s.vmm.Obs = s.events
 		s.counters.Obs = s.events
 		if s.pg != nil {

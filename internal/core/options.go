@@ -130,6 +130,22 @@ type Options struct {
 	// count produces byte-identical results — which is why Shards is
 	// excluded from Fingerprint and cannot perturb memo keys.
 	Shards int
+	// CollectShardStats attaches the sharded engine's introspection layer
+	// (per-lane dispatch counts, heap high-water marks, cross-lane traffic,
+	// barrier stalls, windowed dispatch timeline) into Result.ShardStats.
+	// With Shards <= 1 the run uses a one-lane sharded engine — byte-identical
+	// to the single-heap path by the serialized-merge construction — so the
+	// report exists at every shard count. Collection never changes simulation
+	// results (gated by TestShardStatsNeutral), so it is erased from
+	// Fingerprint like Shards.
+	CollectShardStats bool
+	// Recorder, when non-nil, is the failure flight recorder: every typed
+	// observability event is mirrored into its bounded ring (without the
+	// unbounded buffering of CollectEvents) so a crashed or timed-out run can
+	// dump its last moments. Wiring is an execution detail — the ring is
+	// write-only from the simulation's view — so it too is erased from
+	// Fingerprint.
+	Recorder *obs.Recorder
 }
 
 // Fingerprint renders every field of the options into a string that
@@ -142,8 +158,13 @@ type Options struct {
 func (o Options) Fingerprint() string {
 	// Shards partitions the event queue without changing results (gated by
 	// the cross-shard determinism tests), so it is erased here: two runs
-	// differing only in shard count must share one memo slot.
+	// differing only in shard count must share one memo slot. The same holds
+	// for shard-stats collection (observation-only, result bytes unchanged)
+	// and the flight recorder (a write-only ring whose pointer would
+	// otherwise make every attempt's key unique).
 	o.Shards = 0
+	o.CollectShardStats = false
+	o.Recorder = nil
 	return fmt.Sprintf("%+v", o)
 }
 
@@ -246,6 +267,10 @@ type Result struct {
 	// Series holds the sampled time-series when Options.SampleInterval was
 	// positive (export with WriteCSV / WriteJSONL).
 	Series *obs.Sampler
+	// ShardStats holds the engine's per-lane introspection when
+	// Options.CollectShardStats was set (export with
+	// obs.WriteShardStatsJSONL / report.ShardStatsTable).
+	ShardStats *sim.ShardStats
 	// Events is the number of simulator events dispatched.
 	Events uint64
 	// Steps is the number of memory references executed (work completed).

@@ -324,6 +324,13 @@ func (s *System) Run() (*Result, error) {
 		elapsed = s.deadline // hit the cap without completing
 	}
 
+	// A recorder-only tracer buffers nothing; exposing it as ObsEvents would
+	// look like an empty event collection rather than "not collected".
+	obsEvents := s.events
+	if !s.opt.CollectEvents {
+		obsEvents = nil
+	}
+
 	res := &Result{
 		Workload:          s.spec.Name,
 		Policy:            s.policyName(),
@@ -339,10 +346,13 @@ func (s *System) Run() (*Result, error) {
 		LocalMissFraction: s.mems.LocalFraction(),
 		AvgRemoteLatency:  s.mems.AvgRemoteLatency(),
 		Trace:             s.tracer,
-		ObsEvents:         s.events,
+		ObsEvents:         obsEvents,
 		Series:            s.sampler,
 		Events:            s.engineFired(),
 		Faults:            s.inj.Stats(),
+	}
+	if s.seng != nil {
+		res.ShardStats = s.seng.Stats()
 	}
 	for _, c := range s.cpus {
 		res.Steps += c.steps

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"testing"
 
+	"ccnuma/internal/obs"
 	"ccnuma/internal/sim"
 	"ccnuma/internal/workload"
 )
@@ -94,21 +95,29 @@ func shardCases() []struct {
 func TestShardNeutrality(t *testing.T) {
 	for _, tc := range shardCases() {
 		t.Run(tc.name, func(t *testing.T) {
-			opt := tc.opt
-			opt.Shards = 1
-			base, err := Run(tc.spec(), opt)
-			if err != nil {
-				t.Fatal(err)
-			}
-			want := shardExports(t, base)
-			for _, shards := range []int{2, 4} {
+			// The flight recorder rides along on every run: its dump (events
+			// plus truncation marker) follows the dispatch order, so it is as
+			// shard-neutral as the exports and joins the byte-equality gate.
+			run := func(shards int) []byte {
 				opt := tc.opt
 				opt.Shards = shards
+				opt.Recorder = obs.NewRecorder(128)
 				res, err := Run(tc.spec(), opt)
 				if err != nil {
 					t.Fatal(err)
 				}
-				got := shardExports(t, res)
+				out := shardExports(t, res)
+				events, dropped := opt.Recorder.Dump()
+				var b bytes.Buffer
+				fmt.Fprintf(&b, "recorder dropped=%d\n", dropped)
+				for _, e := range events {
+					fmt.Fprintf(&b, "%+v\n", e)
+				}
+				return append(out, b.Bytes()...)
+			}
+			want := run(1)
+			for _, shards := range []int{2, 4} {
+				got := run(shards)
 				if !bytes.Equal(want, got) {
 					t.Fatalf("shards=%d diverged from shards=1 (exports differ: %d vs %d bytes)\nfirst divergence: %s",
 						shards, len(want), len(got), firstDiff(want, got))
@@ -154,6 +163,21 @@ func TestShardsAbsentFromFingerprint(t *testing.T) {
 	c.Dynamic = false
 	if a.Fingerprint() == c.Fingerprint() {
 		t.Fatal("distinct options collided — the fingerprint stopped covering Dynamic")
+	}
+	// The other execution-only observability knobs must be erased too:
+	// shard-stats collection cannot change results, and a recorder pointer
+	// would make every attempt's memo key unique.
+	d := a
+	d.CollectShardStats = true
+	if a.Fingerprint() != d.Fingerprint() {
+		t.Fatalf("CollectShardStats leaked into the fingerprint:\n%s\n%s",
+			a.Fingerprint(), d.Fingerprint())
+	}
+	e := a
+	e.Recorder = obs.NewRecorder(16)
+	if a.Fingerprint() != e.Fingerprint() {
+		t.Fatalf("the recorder pointer leaked into the fingerprint:\n%s\n%s",
+			a.Fingerprint(), e.Fingerprint())
 	}
 }
 

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"ccnuma/internal/obs"
+	"ccnuma/internal/sim"
+	"ccnuma/internal/workload"
+)
+
+// statsOpt returns the golden shard-stats workload options at the given lane
+// count (matching the Makefile's obs-shard-smoke step).
+func statsOpt(shards int) (spec *workload.Spec, opt Options) {
+	build, err := workload.ByName("engineering")
+	if err != nil {
+		panic(err)
+	}
+	return build(0.05, 11), Options{
+		Seed: 11, Dynamic: true, Duration: 4 * sim.Millisecond,
+		Shards: shards, CollectShardStats: true,
+	}
+}
+
+// TestShardStatsNeutral pins the two invariants the per-lane reports rest on:
+// collecting shard stats never perturbs the simulation (byte-identical
+// exports with and without collection, including at Shards 0, where
+// collection routes through the 1-lane sharded engine), and the dispatch
+// total is the shard-neutral quantity — per-lane splits legitimately differ
+// per lane count.
+func TestShardStatsNeutral(t *testing.T) {
+	spec, opt := statsOpt(0)
+	opt.CollectShardStats = false
+	opt.CollectEvents = true
+	base, err := Run(spec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.ShardStats != nil {
+		t.Fatal("stats collected without CollectShardStats")
+	}
+	want := shardExports(t, base)
+
+	var total uint64
+	for _, shards := range []int{0, 1, 2, 4} {
+		spec, opt := statsOpt(shards)
+		opt.CollectEvents = true
+		res, err := Run(spec, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := shardExports(t, res); !bytes.Equal(want, got) {
+			t.Fatalf("shards=%d: collecting stats perturbed the simulation\nfirst divergence: %s",
+				shards, firstDiff(want, got))
+		}
+		st := res.ShardStats
+		if st == nil {
+			t.Fatalf("shards=%d: no stats collected", shards)
+		}
+		wantLanes := shards
+		if wantLanes < 1 {
+			wantLanes = 1
+		}
+		if st.Lanes() != wantLanes {
+			t.Fatalf("shards=%d: stats cover %d lanes", shards, st.Lanes())
+		}
+		if total == 0 {
+			total = st.TotalDispatched()
+		} else if st.TotalDispatched() != total {
+			t.Fatalf("shards=%d: total dispatched %d, want the shard-neutral %d",
+				shards, st.TotalDispatched(), total)
+		}
+	}
+	if total == 0 {
+		t.Fatal("golden workload dispatched nothing")
+	}
+}
+
+// statsArtifacts renders the shard-stats consumer surfaces available at this
+// layer for one run: the JSONL report and the lane-track Chrome trace. (The
+// ASCII table lives in internal/report, which imports core; its determinism
+// test sits there.)
+func statsArtifacts(t *testing.T, shards int) []byte {
+	t.Helper()
+	spec, opt := statsOpt(shards)
+	opt.CollectEvents = true
+	res, err := Run(spec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := obs.WriteShardStatsJSONL(&b, res.ShardStats); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.ObsEvents.WriteChromeTraceWith(&b, res.ShardStats); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// TestShardStatsDeterministic pins byte determinism of the shard-stats
+// artifacts: two identical runs at each lane count produce identical JSONL
+// and Chrome trace (with lane tracks) output.
+func TestShardStatsDeterministic(t *testing.T) {
+	for _, shards := range []int{1, 2, 4} {
+		a := statsArtifacts(t, shards)
+		b := statsArtifacts(t, shards)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("shards=%d: shard-stats artifacts not deterministic\nfirst divergence: %s",
+				shards, firstDiff(a, b))
+		}
+	}
+}

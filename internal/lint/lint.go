@@ -16,9 +16,12 @@
 //     allocation-inducing constructs: closure literals, fmt calls, append
 //     whose result is not reassigned over its own backing slice, or values
 //     of basic type boxed into interfaces.
-//   - tracerguard: every obs.Tracer Emit/EmitNow call site must sit behind
-//     the nil-check branch pattern (an On() or != nil guard), so the
-//     disabled tracer keeps costing one branch and zero event construction.
+//   - tracerguard: every call to a guarded emitter method (obs.Tracer
+//     Emit/EmitNow, obs.Recorder Record, sim.ShardStats Note*) must sit
+//     behind the nil-check branch pattern (an On() or != nil guard), so a
+//     disabled instrument keeps costing one branch and zero argument
+//     construction. Methods of the guarded type itself are exempt — they
+//     implement the nil tolerance the guard relies on.
 //   - faultpurity: the fault package may draw randomness only from its
 //     private sim.Rand stream — foreign RNGs and wall-clock reads are
 //     errors, because a chaos run must replay exactly from its seed.
@@ -48,10 +51,21 @@ type Config struct {
 	DeterminismScope []string
 	// FaultScope lists the import-path prefixes held to fault purity.
 	FaultScope []string
-	// TracerPkg and TracerType name the tracer type whose emit sites must be
-	// guarded.
-	TracerPkg  string
-	TracerType string
+	// Guarded lists the emitter types whose hot emit methods must sit behind
+	// an On()/nil guard at every call site (tracerguard).
+	Guarded []GuardedEmitter
+}
+
+// GuardedEmitter names one observability type whose listed methods are
+// nil-tolerant no-ops: tracerguard requires every call site outside the
+// type's own methods to prove the receiver is non-nil first, keeping the
+// disabled instrument at its one-branch cost.
+type GuardedEmitter struct {
+	// Pkg and Type identify the emitter type by import path and name.
+	Pkg  string
+	Type string
+	// Methods are the guarded method names.
+	Methods []string
 }
 
 // DefaultConfig returns the scopes enforced on this repository.
@@ -64,8 +78,12 @@ func DefaultConfig() Config {
 			"ccnuma/internal/report",
 		},
 		FaultScope: []string{"ccnuma/internal/fault"},
-		TracerPkg:  "ccnuma/internal/obs",
-		TracerType: "Tracer",
+		Guarded: []GuardedEmitter{
+			{Pkg: "ccnuma/internal/obs", Type: "Tracer", Methods: []string{"Emit", "EmitNow"}},
+			{Pkg: "ccnuma/internal/obs", Type: "Recorder", Methods: []string{"Record"}},
+			{Pkg: "ccnuma/internal/sim", Type: "ShardStats", Methods: []string{
+				"NoteDispatch", "NoteLaneDispatch", "NoteCross", "NoteBarrierStall"}},
+		},
 	}
 }
 

@@ -1,8 +1,12 @@
-// Package bad seeds unguarded obs.Tracer emit sites: event construction
-// that runs even when tracing is disabled.
+// Package bad seeds unguarded emitter call sites: argument construction
+// that runs even when the instrument is disabled — tracer emits, recorder
+// records, and shard-stats hooks alike.
 package bad
 
-import "ccnuma/internal/obs"
+import (
+	"ccnuma/internal/obs"
+	"ccnuma/internal/sim"
+)
 
 type pager struct {
 	Obs *obs.Tracer
@@ -28,4 +32,16 @@ func (p *pager) LateGuard(tr *obs.Tracer) {
 	if !tr.On() {
 		return
 	}
+}
+
+// RecordUnguarded hands the recorder an event with no nil check.
+func RecordUnguarded(r *obs.Recorder, page int64) {
+	e := obs.NewEvent(obs.KindPageMigrated)
+	e.Page = page
+	r.Record(e)
+}
+
+// StatsUnguarded calls a shard-stats hook with no nil check.
+func StatsUnguarded(st *sim.ShardStats, lane int) {
+	st.NoteDispatch(lane, 10)
 }

@@ -1,9 +1,12 @@
 // Package good holds the guarded emit patterns tracerguard must accept:
 // the enclosing On() branch, the early-return guard clause, and an explicit
-// nil comparison.
+// nil comparison — for the tracer, the recorder, and shard stats.
 package good
 
-import "ccnuma/internal/obs"
+import (
+	"ccnuma/internal/obs"
+	"ccnuma/internal/sim"
+)
 
 type pager struct {
 	Obs *obs.Tracer
@@ -32,5 +35,22 @@ func Clause(tr *obs.Tracer, n int) {
 func NilCheck(tr *obs.Tracer, emit bool) {
 	if tr != nil && emit {
 		tr.Emit(obs.NewEvent(obs.KindTLBShootdown))
+	}
+}
+
+// RecordGuarded keeps the recorder behind its On() branch.
+func RecordGuarded(r *obs.Recorder, page int64) {
+	if r.On() {
+		e := obs.NewEvent(obs.KindPageMigrated)
+		e.Page = page
+		r.Record(e)
+	}
+}
+
+// StatsGuarded proves the stats collector non-nil before the hook, the
+// init-statement shape the engine's hot path uses.
+func StatsGuarded(st *sim.ShardStats, lane int) {
+	if s := st; s != nil {
+		s.NoteCross(lane, lane+1)
 	}
 }

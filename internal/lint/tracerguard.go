@@ -6,23 +6,23 @@ import (
 	"go/types"
 )
 
-// tracerguard keeps the disabled tracer at its one-branch cost: building an
-// obs.Event just to hand it to a nil tracer's no-op Emit still pays for the
-// event construction, so every Emit/EmitNow call site must sit behind the
-// nil-check branch pattern — either an enclosing `if tr.On()` / `if tr !=
-// nil` branch or a preceding `if !tr.On() { return }` guard clause.
+// tracerguard keeps a disabled instrument at its one-branch cost: building
+// an obs.Event just to hand it to a nil tracer's no-op Emit still pays for
+// the event construction, so every call to a guarded emitter method
+// (Config.Guarded: obs.Tracer Emit/EmitNow, obs.Recorder Record,
+// sim.ShardStats Note*) must sit behind the nil-check branch pattern —
+// either an enclosing `if tr.On()` / `if tr != nil` branch or a preceding
+// `if !tr.On() { return }` guard clause. Only methods of the guarded type
+// itself are exempt: they implement the nil tolerance the guard relies on,
+// and everything else — including other types in the same package that
+// forward into an emitter — is held to the pattern.
 var tracerguard = &Analyzer{
 	Name: "tracerguard",
-	Doc:  "require every obs.Tracer Emit/EmitNow call site to sit behind an On()/nil guard",
+	Doc:  "require every guarded emitter call site (tracer/recorder/shard-stats) to sit behind an On()/nil guard",
 	Run:  runTracerguard,
 }
 
 func runTracerguard(p *Pass) {
-	// The tracer's own package implements the nil-tolerant methods; the
-	// guard pattern binds its callers.
-	if p.Pkg.Path == p.Cfg.TracerPkg {
-		return
-	}
 	for _, f := range p.Pkg.Files {
 		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -30,33 +30,37 @@ func runTracerguard(p *Pass) {
 				return true
 			}
 			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok || (sel.Sel.Name != "Emit" && sel.Sel.Name != "EmitNow") {
+			if !ok {
 				return true
 			}
-			if !isTracerMethod(p, sel) {
+			g := guardedEmitterFor(p, sel)
+			if g == nil {
+				return true
+			}
+			if enclosingReceiverIs(p, stack, g) {
 				return true
 			}
 			recv := types.ExprString(sel.X)
 			if !guardedByAncestor(call, stack, recv) && !guardedByClause(call, stack, recv) {
 				p.Reportf(call.Pos(),
-					"%s.%s outside an On()/nil guard: the disabled tracer must cost one branch, not an event construction",
-					recv, sel.Sel.Name)
+					"%s.%s outside an On()/nil guard: the disabled %s must cost one branch, not the call's argument construction",
+					recv, sel.Sel.Name, g.Type)
 			}
 			return true
 		})
 	}
 }
 
-// isTracerMethod reports whether the selector resolves to a method on the
-// configured tracer type.
-func isTracerMethod(p *Pass, sel *ast.SelectorExpr) bool {
+// guardedEmitterFor resolves the selector call and returns the guarded
+// emitter it is a method of, or nil.
+func guardedEmitterFor(p *Pass, sel *ast.SelectorExpr) *GuardedEmitter {
 	fn, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
 	if !ok {
-		return false
+		return nil
 	}
 	sig, ok := fn.Type().(*types.Signature)
 	if !ok || sig.Recv() == nil {
-		return false
+		return nil
 	}
 	rt := sig.Recv().Type()
 	if ptr, ok := rt.(*types.Pointer); ok {
@@ -64,10 +68,42 @@ func isTracerMethod(p *Pass, sel *ast.SelectorExpr) bool {
 	}
 	named, ok := rt.(*types.Named)
 	if !ok || named.Obj().Pkg() == nil {
+		return nil
+	}
+	for i := range p.Cfg.Guarded {
+		g := &p.Cfg.Guarded[i]
+		if named.Obj().Pkg().Path() != g.Pkg || named.Obj().Name() != g.Type {
+			continue
+		}
+		for _, m := range g.Methods {
+			if sel.Sel.Name == m {
+				return g
+			}
+		}
+	}
+	return nil
+}
+
+// enclosingReceiverIs reports whether the call sits inside a method whose
+// receiver is the guarded type itself (the type's own methods carry the
+// nil checks everyone else's guards rely on).
+func enclosingReceiverIs(p *Pass, stack []ast.Node, g *GuardedEmitter) bool {
+	if p.Pkg.Path != g.Pkg {
 		return false
 	}
-	return named.Obj().Pkg().Path() == p.Cfg.TracerPkg &&
-		named.Obj().Name() == p.Cfg.TracerType
+	for i := len(stack) - 1; i >= 0; i-- {
+		fd, ok := stack[i].(*ast.FuncDecl)
+		if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 {
+			continue
+		}
+		rt := fd.Recv.List[0].Type
+		if star, ok := rt.(*ast.StarExpr); ok {
+			rt = star.X
+		}
+		id, ok := rt.(*ast.Ident)
+		return ok && id.Name == g.Type
+	}
+	return false
 }
 
 // guardedByAncestor reports whether an enclosing if's then-branch proves the

@@ -19,6 +19,7 @@ package obs
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
 	"sort"
 
@@ -88,6 +89,22 @@ func (k Kind) MarshalJSON() ([]byte, error) {
 	return json.Marshal(k.String())
 }
 
+// UnmarshalJSON parses a kind name back to its value, so flight-recorder
+// dumps embedded in failure manifests round-trip through JSON.
+func (k *Kind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	for i := Kind(0); i < kindCount; i++ {
+		if kindNames[i] == s {
+			*k = i
+			return nil
+		}
+	}
+	return fmt.Errorf("obs: unknown event kind %q", s)
+}
+
 // Event is one timestamped observability record. Fields that do not apply to
 // a kind hold the NewEvent sentinels (-1 for ids, zero elsewhere), so every
 // export line has the same shape.
@@ -137,12 +154,37 @@ type Tracer struct {
 	Clock func() sim.Time
 
 	events []Event
+
+	// rec, when set, receives a copy of every emitted event (the failure
+	// flight recorder). noBuffer additionally drops the in-memory buffer, so
+	// a recorder-only tracer holds bounded memory no matter how long the run.
+	rec      *Recorder
+	noBuffer bool
 }
 
 // NewTracer builds an enabled tracer. clock may be nil when every emitter
 // stamps its own events.
 func NewTracer(clock func() sim.Time) *Tracer {
 	return &Tracer{Clock: clock}
+}
+
+// NewFlightTracer builds a tracer that forwards every event to the flight
+// recorder without buffering: the run pays the ring write per event and
+// holds no unbounded event memory. r must be non-nil.
+func NewFlightTracer(clock func() sim.Time, r *Recorder) *Tracer {
+	if r == nil {
+		panic("obs: flight tracer needs a recorder")
+	}
+	return &Tracer{Clock: clock, rec: r, noBuffer: true}
+}
+
+// AttachRecorder mirrors every subsequent emission into r (in addition to
+// the buffer). No-op on a nil tracer or nil recorder.
+func (t *Tracer) AttachRecorder(r *Recorder) {
+	if t == nil || r == nil {
+		return
+	}
+	t.rec = r
 }
 
 // On reports whether the tracer is collecting. Safe on nil.
@@ -153,7 +195,12 @@ func (t *Tracer) Emit(e Event) {
 	if t == nil {
 		return
 	}
-	t.events = append(t.events, e)
+	if t.rec != nil {
+		t.rec.Record(e)
+	}
+	if !t.noBuffer {
+		t.events = append(t.events, e)
+	}
 }
 
 // EmitNow records an event stamped with the tracer's clock. No-op on nil.
@@ -164,7 +211,12 @@ func (t *Tracer) EmitNow(e Event) {
 	if t.Clock != nil {
 		e.At = t.Clock()
 	}
-	t.events = append(t.events, e)
+	if t.rec != nil {
+		t.rec.Record(e)
+	}
+	if !t.noBuffer {
+		t.events = append(t.events, e)
+	}
 }
 
 // Len returns the number of buffered events. Safe on nil.

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"ccnuma/internal/core"
+	"ccnuma/internal/obs"
 	"ccnuma/internal/policy"
 	"ccnuma/internal/sim"
 	"ccnuma/internal/topology"
@@ -62,15 +63,27 @@ type Harness struct {
 	// of a grid still completes. Off, the first failure panics with the
 	// run's options fingerprint.
 	KeepGoing bool
+	// CollectSpans records the wall-clock span timeline (spans.go):
+	// queued/running/retry/memo-hit/failure intervals per run, exported as
+	// Chrome trace JSON by cmd/experiments -spans.
+	CollectSpans bool
+	// RecorderDepth, when positive, arms a failure flight recorder per
+	// attempt: a bounded ring over the run's last RecorderDepth typed obs
+	// events, dumped into the RunFailure manifest when the run fails — a
+	// postmortem without re-running under full -events collection.
+	RecorderDepth int
 	// PreRun, when set, is called before each simulation attempt, inside the
 	// recovery scope (test hook: failure injection and attempt counting).
 	PreRun func(wl string, opt core.Options)
 
-	mu       sync.Mutex
-	runs     map[string]*runEntry
-	traces   map[string]*trace.Trace
-	metrics  []RunMetric
-	failures []RunFailure
+	mu        sync.Mutex
+	runs      map[string]*runEntry
+	traces    map[string]*trace.Trace
+	metrics   []RunMetric
+	failures  []RunFailure
+	spanEpoch time.Time
+	spans     []Span
+	slots     []bool
 
 	executed atomic.Uint64 // simulations actually run
 	memoHits atomic.Uint64 // calls served by the memo (or a shared in-flight run)
@@ -144,6 +157,13 @@ type RunFailure struct {
 	Error       string `json:"error"`
 	Attempts    int    `json:"attempts"`
 	TimedOut    bool   `json:"timed_out"`
+	// Events is the failure flight recorder's dump: the last RecorderDepth
+	// typed events before the failure, oldest first. Empty unless
+	// Harness.RecorderDepth was set.
+	Events []obs.Event `json:"events,omitempty"`
+	// EventsDropped is the dump's truncation marker: how many events fell
+	// off the bounded ring before it (0 = Events is the complete history).
+	EventsDropped uint64 `json:"events_dropped,omitempty"`
 }
 
 // Failures returns the runs that failed all attempts, sorted by workload
@@ -202,12 +222,22 @@ func (h *Harness) Run(wl string, opt core.Options) *core.Result {
 	opt.Shards = h.Shards
 	key := runKey(wl, opt)
 
+	id := fmt.Sprintf("%016x", keyID(key))
+	var enter time.Duration
+	if h.CollectSpans {
+		enter = h.sinceStart()
+	}
+
 	h.mu.Lock()
 	if e, ok := h.runs[key]; ok {
 		h.mu.Unlock()
 		<-e.done
 		h.memoHits.Add(1)
 		h.logf("memo  %s id=%016x", wl, keyID(key))
+		if h.CollectSpans {
+			h.addSpan(Span{Workload: wl, ID: id, State: SpanMemoHit, Slot: -1,
+				Start: enter, End: h.sinceStart()})
+		}
 		return e.res
 	}
 	e := &runEntry{done: make(chan struct{})}
@@ -220,9 +250,17 @@ func (h *Harness) Run(wl string, opt core.Options) *core.Result {
 	defer close(e.done)
 	h.executed.Add(1)
 	h.logf("start %s id=%016x", wl, keyID(key))
-	t0 := time.Now() //numalint:allow determinism wall-clock progress logging
-	res, attempts, timedOut, err := h.attempt(wl, opt)
+	slot := -1
+	if h.CollectSpans {
+		slot = h.acquireSlot()
+		defer h.releaseSlot(slot)
+		h.addSpan(Span{Workload: wl, ID: id, State: SpanQueued, Slot: slot,
+			Start: enter, End: h.sinceStart()})
+	}
+	t0 := wallNow()
+	res, rec, attempts, timedOut, err := h.attempt(wl, id, slot, opt)
 	if err != nil {
+		dump, dropped := rec.Dump()
 		h.mu.Lock()
 		// Evict the memo slot: the placeholder below answers callers already
 		// blocked on this entry, but a later call for the same key must get a
@@ -231,12 +269,14 @@ func (h *Harness) Run(wl string, opt core.Options) *core.Result {
 		// that had failed transiently returned the placeholder forever.)
 		delete(h.runs, key)
 		h.failures = append(h.failures, RunFailure{
-			Workload:    wl,
-			ID:          fmt.Sprintf("%016x", keyID(key)),
-			Fingerprint: opt.Fingerprint(),
-			Error:       err.Error(),
-			Attempts:    attempts,
-			TimedOut:    timedOut,
+			Workload:      wl,
+			ID:            id,
+			Fingerprint:   opt.Fingerprint(),
+			Error:         err.Error(),
+			Attempts:      attempts,
+			TimedOut:      timedOut,
+			Events:        dump,
+			EventsDropped: dropped,
 		})
 		h.mu.Unlock()
 		h.logf("fail  %s id=%016x attempts=%d err=%v", wl, keyID(key), attempts, err)
@@ -248,7 +288,7 @@ func (h *Harness) Run(wl string, opt core.Options) *core.Result {
 		e.res = res
 		return res
 	}
-	wall := time.Since(t0) //numalint:allow determinism wall-clock progress logging
+	wall := wallSince(t0)
 	h.logf("done  %s id=%016x policy=%s simulated=%v wall=%v",
 		wl, keyID(key), res.Policy, res.Elapsed, wall.Round(time.Millisecond))
 	h.mu.Lock()
@@ -268,19 +308,43 @@ func (h *Harness) Run(wl string, opt core.Options) *core.Result {
 }
 
 // attempt drives one run through up to 1+Retries attempts with doubling
-// wall-clock backoff, returning the last attempt's outcome.
-func (h *Harness) attempt(wl string, opt core.Options) (res *core.Result, attempts int, timedOut bool, err error) {
+// wall-clock backoff, returning the last attempt's outcome (including its
+// flight recorder, for the failure dump). id and slot label the spans.
+func (h *Harness) attempt(wl, id string, slot int, opt core.Options) (res *core.Result, rec *obs.Recorder, attempts int, timedOut bool, err error) {
 	backoff := h.RetryBackoff
 	if backoff <= 0 {
 		backoff = 100 * time.Millisecond
 	}
 	for attempts = 1; ; attempts++ {
-		res, timedOut, err = h.runOnce(wl, opt)
+		var a0 time.Duration
+		if h.CollectSpans {
+			a0 = h.sinceStart()
+		}
+		res, rec, timedOut, err = h.runOnce(wl, opt)
+		if h.CollectSpans {
+			state := SpanRunning
+			switch {
+			case timedOut:
+				state = SpanTimeout
+			case err != nil:
+				state = SpanFailed
+			}
+			h.addSpan(Span{Workload: wl, ID: id, State: state, Attempt: attempts,
+				Slot: slot, Start: a0, End: h.sinceStart()})
+		}
 		if err == nil || attempts > h.Retries {
-			return res, attempts, timedOut, err
+			return res, rec, attempts, timedOut, err
 		}
 		h.logf("retry %s attempt=%d backoff=%v err=%v", wl, attempts, backoff, err)
+		var r0 time.Duration
+		if h.CollectSpans {
+			r0 = h.sinceStart()
+		}
 		time.Sleep(backoff)
+		if h.CollectSpans {
+			h.addSpan(Span{Workload: wl, ID: id, State: SpanRetry, Attempt: attempts,
+				Slot: slot, Start: r0, End: h.sinceStart()})
+		}
 		backoff *= 2
 	}
 }
@@ -294,8 +358,16 @@ type runOutcome struct {
 
 // runOnce executes one simulation attempt in a child goroutine so a panic in
 // the workload or kernel layers becomes an error on this worker instead of
-// tearing the process (and every other concurrent run) down.
-func (h *Harness) runOnce(wl string, opt core.Options) (res *core.Result, timedOut bool, err error) {
+// tearing the process (and every other concurrent run) down. Each attempt
+// gets its own flight recorder (when RecorderDepth is set) so a retry's dump
+// never mixes attempts; the recorder is returned even on timeout — its ring
+// is mutex-guarded, so dumping while the abandoned goroutine still simulates
+// is safe.
+func (h *Harness) runOnce(wl string, opt core.Options) (res *core.Result, rec *obs.Recorder, timedOut bool, err error) {
+	if h.RecorderDepth > 0 {
+		rec = obs.NewRecorder(h.RecorderDepth)
+		opt.Recorder = rec
+	}
 	ch := make(chan runOutcome, 1)
 	go func() {
 		defer func() {
@@ -311,16 +383,16 @@ func (h *Harness) runOnce(wl string, opt core.Options) (res *core.Result, timedO
 	}()
 	if h.RunTimeout <= 0 {
 		out := <-ch
-		return out.res, false, out.err
+		return out.res, rec, false, out.err
 	}
 	timer := time.NewTimer(h.RunTimeout)
 	defer timer.Stop()
 	//numalint:allow determinism the run-timeout race is inherently wall-clock; results stay deterministic because timeouts are failures
 	select {
 	case out := <-ch:
-		return out.res, false, out.err
+		return out.res, rec, false, out.err
 	case <-timer.C:
-		return nil, true, fmt.Errorf("timed out after %v (simulation goroutine abandoned)", h.RunTimeout)
+		return nil, rec, true, fmt.Errorf("timed out after %v (simulation goroutine abandoned)", h.RunTimeout)
 	}
 }
 

@@ -68,6 +68,13 @@ type Sharded struct {
 	periodics    []periodic
 	periodicKind Kind
 	hasPeriodic  bool
+
+	// stats is the optional introspection collector (nil = disabled; every
+	// hook site below pays one branch). statsLane tracks which lane the
+	// serialized merge is currently dispatching (-1 outside dispatch) so
+	// cross-lane schedules can be attributed to their source lane.
+	stats     *ShardStats
+	statsLane int32
 }
 
 // LaneHandler is a typed event callback for the sharded engine. It receives
@@ -112,7 +119,7 @@ func NewSharded(lanes int, lookahead Time) *Sharded {
 	if lookahead < 0 {
 		panic("sim: negative lookahead")
 	}
-	s := &Sharded{lookahead: lookahead}
+	s := &Sharded{lookahead: lookahead, statsLane: -1}
 	s.lanes = make([]*Lane, lanes)
 	for i := range s.lanes {
 		s.lanes[i] = &Lane{s: s, idx: int32(i)}
@@ -199,7 +206,11 @@ func (s *Sharded) AtKind(at Time, k Kind, arg uint64) {
 		panic("sim: unregistered event kind")
 	}
 	s.seq++
-	s.lanes[s.laneOf(k, arg)].push(item{at: at, seq: s.seq, kind: k, arg: arg})
+	dst := s.laneOf(k, arg)
+	if st := s.stats; st != nil && s.statsLane >= 0 && int32(dst) != s.statsLane {
+		st.NoteCross(int(s.statsLane), dst)
+	}
+	s.lanes[dst].push(item{at: at, seq: s.seq, kind: k, arg: arg})
 }
 
 // AfterKind schedules the handler registered under k to run d nanoseconds
@@ -257,10 +268,17 @@ func (s *Sharded) Step() bool {
 	top := l.pop()
 	s.now = top.at
 	s.fired++
+	if st := s.stats; st != nil {
+		st.NoteDispatch(best, s.now)
+		s.statsLane = l.idx
+	}
 	if top.fn != nil {
 		top.fn(s.now)
 	} else {
 		s.handlers[top.kind](l, s.now, top.arg)
+	}
+	if s.stats != nil {
+		s.statsLane = -1
 	}
 	return true
 }
@@ -375,6 +393,9 @@ func (s *Sharded) RunEpochs(workers int, deadline Time) {
 						defer func() { laneErrs[i] = recover() }()
 						s.lanes[i].runTo(end, park)
 					}(i)
+					if st := s.stats; st != nil {
+						st.noteLaneDone(i)
+					}
 				}
 			}(w)
 		}
@@ -385,7 +406,10 @@ func (s *Sharded) RunEpochs(workers int, deadline Time) {
 				panic(r)
 			}
 		}
-		s.drainMailboxes()
+		drained := s.drainMailboxes()
+		if st := s.stats; st != nil {
+			st.noteEpoch(base, end, drained)
+		}
 	}
 	for _, l := range s.lanes {
 		s.fired += l.fired
@@ -406,8 +430,8 @@ func (s *Sharded) RunEpochs(workers int, deadline Time) {
 // drainMailboxes delivers every cross-lane post in (time, source lane,
 // source sequence) order — a total order fixed by the model, not by which
 // goroutine reached the barrier first — assigning destination-lane sequence
-// numbers in that order.
-func (s *Sharded) drainMailboxes() {
+// numbers in that order. It returns the number of posts delivered.
+func (s *Sharded) drainMailboxes() int {
 	posts := s.posts[:0]
 	for _, l := range s.lanes {
 		posts = append(posts, l.out...)
@@ -427,9 +451,14 @@ func (s *Sharded) drainMailboxes() {
 		p := &posts[i]
 		d := s.lanes[p.dst]
 		d.seq++
+		if st := s.stats; st != nil {
+			st.NoteCross(int(p.src), int(p.dst))
+		}
 		d.push(item{at: p.at, seq: d.seq, kind: p.kind, arg: p.arg})
 	}
+	n := len(posts)
 	s.posts = posts[:0]
+	return n
 }
 
 // runTo dispatches the lane's events strictly before end, then parks the
@@ -439,6 +468,9 @@ func (l *Lane) runTo(end, park Time) {
 		top := l.pop()
 		l.now = top.at
 		l.fired++
+		if st := l.s.stats; st != nil {
+			st.NoteLaneDispatch(int(l.idx))
+		}
 		if top.fn != nil {
 			top.fn(l.now)
 		} else {
@@ -446,6 +478,9 @@ func (l *Lane) runTo(end, park Time) {
 		}
 	}
 	if l.now < park {
+		if st := l.s.stats; st != nil {
+			st.NoteBarrierStall(int(l.idx), park-l.now)
+		}
 		l.now = park
 	}
 }
@@ -534,6 +569,9 @@ func (l *Lane) After(d Time, fn Event) {
 //numalint:hotpath
 func (l *Lane) push(it item) {
 	l.heap = append(l.heap, it)
+	if st := l.s.stats; st != nil && len(l.heap) > st.lane[l.idx].HeapMax {
+		st.lane[l.idx].HeapMax = len(l.heap)
+	}
 	i := len(l.heap) - 1
 	for i > 0 {
 		p := (i - 1) / 2
