@@ -3,9 +3,9 @@ GO ?= go
 # Tier-1 verification plus formatting, the race detector, and benchmark
 # smoke runs. `make ci` is what a CI job should run.
 .PHONY: ci fmt-check vet lint build test race fault-smoke bench-smoke \
-	obs-bench-smoke obs-shard-smoke bench bench-json bench-json-smoke
+	obs-bench-smoke obs-shard-smoke epoch-smoke bench bench-json bench-json-smoke
 
-ci: fmt-check vet lint build race fault-smoke bench-smoke obs-bench-smoke obs-shard-smoke bench-json-smoke
+ci: fmt-check vet lint build race fault-smoke bench-smoke obs-bench-smoke obs-shard-smoke epoch-smoke bench-json-smoke
 
 # gofmt -l prints nonconforming files; any output fails the target.
 fmt-check:
@@ -38,7 +38,7 @@ race:
 		-run 'TestSingleflightUnderConcurrency|TestHarnessPanicIsolation|TestHarnessFailureHammer|TestHarnessFailureEvictedFromMemo' \
 		./internal/report
 	$(GO) test -race -count=1 \
-		-run 'TestShardNeutrality|TestShardedEpochsDeterministicAndLaneEquivalent|TestShardStatsEpochsDeterministicAcrossWorkers' \
+		-run 'TestShardNeutrality|TestEpochWorkerNeutrality|TestShardedEpochsDeterministicAndLaneEquivalent|TestShardStatsEpochsDeterministicAcrossWorkers|TestGuardedEpochsMatchSerializedMerge' \
 		./internal/core ./internal/sim
 	$(GO) test -race -count=1 -run 'TestRecorderUnderEpochWorkers' ./internal/obs
 
@@ -76,19 +76,37 @@ obs-shard-smoke:
 	done; \
 	echo "obs-shard-smoke: shard-stats deterministic at shards 1/2/4"
 
+# Full-system byte-identity of the concurrent epoch engine: the -json result
+# of a golden workload must be identical between the single-heap engine and
+# guarded epochs at every shard/worker pairing. The neutrality tests cover
+# the library; this covers the shipped binary's flag plumbing.
+epoch-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/numasim" ./cmd/numasim; \
+	"$$tmp/numasim" -workload engineering -scale 0.05 -duration 4ms \
+		-json >"$$tmp/serial.json"; \
+	for sw in "1 1" "2 2" "4 4"; do \
+		set -- $$sw; \
+		"$$tmp/numasim" -workload engineering -scale 0.05 -duration 4ms \
+			-shards $$1 -workers $$2 -json >"$$tmp/epoch.json"; \
+		cmp "$$tmp/serial.json" "$$tmp/epoch.json" || \
+			{ echo "epoch-smoke: -shards $$1 -workers $$2 diverges from the serial engine"; exit 1; }; \
+	done; \
+	echo "epoch-smoke: byte-identical at shards/workers 1/1 2/2 4/4"
+
 # The full paper-regeneration benchmark suite (see bench_test.go).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
 # Machine-readable record of the throughput benchmarks: one iteration at
-# quarter scale, parsed by cmd/benchjson into BENCH_6.json (ns/op, allocs/op,
-# ksteps/s, records). ShardScaling adds the 1/2/4-lane curve of the sharded
-# engine.
+# quarter scale, parsed by cmd/benchjson into BENCH_8.json (ns/op, allocs/op,
+# ksteps/s, records). ShardScaling records the serial 1/2/4-lane curve plus
+# the guarded-epoch points (workers 2 and 4).
 bench-json:
 	BENCH_SCALE=0.25 $(GO) test -run '^$$' \
 		-bench 'FullSystemEngineering|ShardScaling|TraceSimThroughput' -benchmem -benchtime 1x . \
-		| $(GO) run ./cmd/benchjson -out BENCH_6.json
-	@echo wrote BENCH_6.json
+		| $(GO) run ./cmd/benchjson -out BENCH_8.json
+	@echo wrote BENCH_8.json
 
 # Smoke: prove the bench-to-JSON pipeline parses current go test output.
 bench-json-smoke:

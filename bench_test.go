@@ -231,18 +231,24 @@ func BenchmarkFullSystemEngineering(b *testing.B) {
 	}
 }
 
-// BenchmarkShardScaling measures full-system throughput at each event-lane
-// count: one complete engineering run per iteration on the 1-lane (single
-// heap), 2-lane, and 4-lane engines. Results are byte-identical at any lane
-// count (the shard-neutrality tests gate that), so ksteps/s is the only
-// axis this curve varies; on a single-CPU host the lanes expose no extra
-// parallelism and the curve records the merge's bookkeeping overhead.
+// BenchmarkShardScaling measures full-system throughput across the engine's
+// drive modes: one complete engineering run per iteration. The serial points
+// (workers=0) sweep the 1-lane (single heap), 2-lane, and 4-lane engines and
+// record the merge's bookkeeping overhead; the epoch-mode points (workers>=1)
+// drive planner-cleared guarded windows concurrently and record what the
+// confinement planner's admissible windows buy back. Results are
+// byte-identical at every point (the shard- and epoch-neutrality tests gate
+// that), so ksteps/s is the only axis the curve varies.
 func BenchmarkShardScaling(b *testing.B) {
-	for _, shards := range []int{1, 2, 4} {
-		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+	for _, pt := range []struct{ shards, workers int }{
+		{1, 0}, {2, 0}, {4, 0},
+		{2, 2}, {4, 2}, {4, 4},
+	} {
+		b.Run(fmt.Sprintf("shards=%d/workers=%d", pt.shards, pt.workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				h := report.NewHarness(0.25, uint64(i+1))
-				h.Shards = shards
+				h.Shards = pt.shards
+				h.EpochWorkers = pt.workers
 				r := h.FT("engineering")
 				b.ReportMetric(float64(r.Steps)/float64(b.Elapsed().Seconds()*1e6), "ksteps/s")
 			}

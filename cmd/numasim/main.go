@@ -36,6 +36,7 @@ func main() {
 		scale     = flag.Float64("scale", 1.0, "workload scale factor")
 		seed      = flag.Uint64("seed", 42, "random seed")
 		shards    = flag.Int("shards", 0, "per-node event lanes (0 or 1 = single heap; results are shard-count independent)")
+		workers   = flag.Int("workers", 0, "goroutines driving guarded epoch windows (0 = serial; needs -shards >= workers; results are worker-count independent)")
 		dur       = flag.Duration("duration", 0, "run length in simulated time (0 = workload default)")
 		trigger   = flag.Uint("trigger", 0, "trigger threshold override (0 = workload default)")
 		metric    = flag.String("metric", "fc", "counter metric: fc|sc|ft|st")
@@ -102,6 +103,7 @@ func main() {
 		Config:            cfg,
 		Seed:              *seed,
 		Shards:            *shards,
+		Workers:           *workers,
 		Duration:          sim.Time(dur.Nanoseconds()),
 		CollectTrace:      *missPth != "",
 		CollectEvents:     *eventsPth != "" || *jsonlPth != "",

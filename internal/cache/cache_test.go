@@ -10,7 +10,7 @@ import (
 
 func newTestCache(t *testing.T, size, assoc, pages int) (*Cache, *Validity) {
 	t.Helper()
-	v := NewValidity(pages)
+	v := NewValidity(pages, 1)
 	return New("test", size, assoc, v), v
 }
 
@@ -31,7 +31,7 @@ func TestCacheMissThenHit(t *testing.T) {
 }
 
 func TestCacheLRUEviction(t *testing.T) {
-	v := NewValidity(1024)
+	v := NewValidity(1024, 1)
 	c := New("tiny", 2*mem.LineSize, 2, v) // one set, two ways
 	sets := c.Sets()
 	if sets != 1 {
@@ -53,7 +53,7 @@ func TestCacheLRUEviction(t *testing.T) {
 }
 
 func TestCacheLookupMovesHitToMRU(t *testing.T) {
-	v := NewValidity(1024)
+	v := NewValidity(1024, 1)
 	c := New("tiny", 3*mem.LineSize, 3, v) // one set, three ways
 	a, b, d, x := mem.GLine(0), mem.GLine(1), mem.GLine(2), mem.GLine(3)
 	c.Insert(a, 0)
@@ -73,7 +73,7 @@ func TestCacheLookupMovesHitToMRU(t *testing.T) {
 }
 
 func TestCacheInsertRefreshMovesToMRU(t *testing.T) {
-	v := NewValidity(1024)
+	v := NewValidity(1024, 1)
 	c := New("tiny", 2*mem.LineSize, 2, v) // one set, two ways
 	a, b, x := mem.GLine(0), mem.GLine(1), mem.GLine(2)
 	c.Insert(a, 0)
@@ -89,7 +89,7 @@ func TestCacheInsertRefreshMovesToMRU(t *testing.T) {
 }
 
 func TestCacheInsertPrefersInvalidatedWay(t *testing.T) {
-	v := NewValidity(1024)
+	v := NewValidity(1024, 1)
 	c := New("tiny", 2*mem.LineSize, 2, v) // one set, two ways
 	a, b, x := mem.GLine(0), mem.GLine(1), mem.GLine(2)
 	c.Insert(a, v.LineVersion(a))
@@ -112,7 +112,7 @@ func TestCacheInsertPrefersInvalidatedWay(t *testing.T) {
 // The per-reference cache operations sit inside the simulator's hot path;
 // they must not allocate.
 func TestCacheOpsZeroAllocs(t *testing.T) {
-	v := NewValidity(64)
+	v := NewValidity(64, 1)
 	c := New("hot", 4096, 2, v)
 	lines := make([]mem.GLine, 64)
 	for i := range lines {
@@ -134,7 +134,7 @@ func TestCacheOpsZeroAllocs(t *testing.T) {
 // BenchmarkCacheLookupInsert reports the per-access cost of the cache model
 // with ReportAllocs pinning both operations at zero allocations.
 func BenchmarkCacheLookupInsert(b *testing.B) {
-	v := NewValidity(64)
+	v := NewValidity(64, 1)
 	c := New("hot", 4096, 2, v)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -146,7 +146,7 @@ func BenchmarkCacheLookupInsert(b *testing.B) {
 }
 
 func TestCacheWriteInvalidatesOtherCopies(t *testing.T) {
-	v := NewValidity(16)
+	v := NewValidity(16, 1)
 	c1 := New("cpu0", 4096, 2, v)
 	c2 := New("cpu1", 4096, 2, v)
 	l := mem.GPage(1).Line(0)
@@ -168,7 +168,7 @@ func TestCacheWriteInvalidatesOtherCopies(t *testing.T) {
 }
 
 func TestCachePageEpochInvalidatesWholePage(t *testing.T) {
-	v := NewValidity(16)
+	v := NewValidity(16, 1)
 	c := New("cpu0", 64*1024, 2, v)
 	p := mem.GPage(2)
 	for i := 0; i < mem.LinesPerPage; i++ {
@@ -203,11 +203,11 @@ func TestCacheBadGeometryPanics(t *testing.T) {
 			t.Fatal("no panic for size not divisible by assoc*line")
 		}
 	}()
-	New("bad", 3*mem.LineSize, 2, NewValidity(1))
+	New("bad", 3*mem.LineSize, 2, NewValidity(1, 1))
 }
 
 func TestHierarchyLevels(t *testing.T) {
-	v := NewValidity(64)
+	v := NewValidity(64, 1)
 	h := NewHierarchy(0, 2048, 2, 8192, 2, v)
 	l := mem.GPage(1).Line(1)
 	if got := h.Access(l, mem.DataRead); got != Miss {
@@ -227,7 +227,7 @@ func TestHierarchyLevels(t *testing.T) {
 }
 
 func TestHierarchySplitIAndD(t *testing.T) {
-	v := NewValidity(64)
+	v := NewValidity(64, 1)
 	h := NewHierarchy(0, 2048, 2, 8192, 2, v)
 	l := mem.GPage(1).Line(0)
 	h.Access(l, mem.InstrFetch)
@@ -238,7 +238,7 @@ func TestHierarchySplitIAndD(t *testing.T) {
 }
 
 func TestHierarchyWriteInvalidatesPeer(t *testing.T) {
-	v := NewValidity(64)
+	v := NewValidity(64, 1)
 	h0 := NewHierarchy(0, 2048, 2, 8192, 2, v)
 	h1 := NewHierarchy(1, 2048, 2, 8192, 2, v)
 	l := mem.GPage(5).Line(3)
@@ -257,7 +257,7 @@ func TestHierarchyWriteInvalidatesPeer(t *testing.T) {
 }
 
 func TestHierarchyWriteHitKeepsOwnCopyValid(t *testing.T) {
-	v := NewValidity(64)
+	v := NewValidity(64, 1)
 	h := NewHierarchy(0, 2048, 2, 8192, 2, v)
 	l := mem.GPage(4).Line(0)
 	h.Access(l, mem.DataWrite)
@@ -274,7 +274,7 @@ func TestHierarchyWriteHitKeepsOwnCopyValid(t *testing.T) {
 func TestCacheValidityProperty(t *testing.T) {
 	f := func(seed uint64) bool {
 		r := sim.NewRand(seed)
-		v := NewValidity(8)
+		v := NewValidity(8, 1)
 		c := New("prop", 4096, 2, v)
 		for i := 0; i < 500; i++ {
 			l := mem.GPage(r.Intn(8)).Line(r.Intn(mem.LinesPerPage))

@@ -72,7 +72,7 @@ func TestCacheMatchesReferenceModel(t *testing.T) {
 	for seed := uint64(1); seed <= 5; seed++ {
 		rng := sim.NewRand(seed)
 		const pages = 16
-		val := NewValidity(pages)
+		val := NewValidity(pages, 1)
 		c := New("dut", 4096, 2, val)
 		ref := newRefCache(4096, 2, val)
 		for i := 0; i < 20000; i++ {

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"ccnuma/internal/kernel/sched"
+	"ccnuma/internal/mem"
+	"ccnuma/internal/sim"
+)
+
+// confinePlanner is the kernel's window planner for the sharded engine's
+// guarded epoch mode (sim.Planner). The full-system event stream has exactly
+// two typed kinds — per-CPU step events and wake-after-block events — and
+// the planner's job is to prove which of them are lane-confined at this
+// moment, so RunEpochs can dispatch them concurrently without changing a
+// byte of output.
+//
+// A busy CPU step can never be admitted: every memory reference it executes
+// touches machine-global kernel state (the cache-validity filter's write
+// stamps, the home node's memory resources, the policy counters, the VM).
+// What CAN be admitted is the idle fraction of the machine:
+//
+//   - idle scheduler ticks — a step that will provably take the idle path:
+//     no current process, no pending shootdown or interval charges, no
+//     queued pager batches, and sched.IdleOn proving Next would return nil.
+//     Such a step only touches its own cpuState and re-arms itself.
+//   - wake deliveries — a wake event that is either stale (the slot
+//     generation moved on; the handler is a pure read returning early) or
+//     currently routed to the lane that owns the target CPU's ready queue,
+//     so MakeRunnable mutates only lane-owned queue state.
+//
+// Admission is decided from heap and kernel state *before* the window runs
+// (the sim engine plans, then dispatches), so the serial/parallel split is a
+// pure function of simulation state — never of worker count — and the
+// byte-identity argument in internal/sim/guarded.go applies.
+//
+// On top of per-event admissibility, PlanWindow enforces a conflict matrix
+// between the events sharing one window, because an earlier admitted event
+// can invalidate the proof for a later one:
+//
+//   - one tick per CPU per window (the step chain guarantees this anyway;
+//     enforced so the IdleOn proof — taken once at plan time — covers every
+//     admitted tick);
+//   - affinity ticks conflict with every live wake: Affinity.Next scans all
+//     ready queues for steal candidates, so any concurrent push both races
+//     the scan and can change the idle verdict;
+//   - pinned/partition ticks conflict with a live wake targeting the same
+//     CPU: the wake would land the process on the queue before the tick's
+//     in-lane turn, and the "idle" tick would dispatch it — the busy path,
+//     in a window. (Same-CPU wake and tick share a lane, so this is an
+//     ordering hazard, not a data race; opposite order — tick before wake —
+//     is harmless and admitted.)
+//
+// Stale wakes conflict with nothing: they read the slot table and return.
+type confinePlanner struct {
+	s *System
+	// affinity notes whether the run's scheduler steals across queues (the
+	// strictest row of the conflict matrix).
+	affinity bool
+	// tickCPUs / wakeCPUs are plan-time scratch: CPUs with an admitted idle
+	// tick, and target CPUs of admitted live wakes, within one window.
+	tickCPUs []mem.CPUID
+	wakeCPUs []mem.CPUID
+}
+
+func newConfinePlanner(s *System) *confinePlanner {
+	_, aff := s.schedul.(*sched.Affinity)
+	return &confinePlanner{s: s, affinity: aff}
+}
+
+// Guardable is the engine's cheap pre-filter: it sees the globally next
+// event before window assembly, so the busy-machine common case pays one
+// idle check and falls straight back to serial dispatch.
+func (pl *confinePlanner) Guardable(ev sim.WindowEvent) bool {
+	s := pl.s
+	switch ev.Kind {
+	case s.stepKind:
+		return s.stepIdleConfined(mem.CPUID(ev.Arg))
+	case s.wakeKind:
+		cpu, live := s.wakeTarget(ev.Arg)
+		if !live {
+			return true
+		}
+		return s.laneForCPU(cpu) == ev.Lane
+	}
+	return false
+}
+
+// PlanWindow walks the candidate window in serial dispatch order and
+// returns the first event the matrix rejects; everything before it runs
+// concurrently.
+func (pl *confinePlanner) PlanWindow(base, end sim.Time, evs []sim.WindowEvent) sim.Time {
+	s := pl.s
+	pl.tickCPUs = pl.tickCPUs[:0]
+	pl.wakeCPUs = pl.wakeCPUs[:0]
+	for _, ev := range evs {
+		switch ev.Kind {
+		case s.stepKind:
+			cpu := mem.CPUID(ev.Arg)
+			if !s.stepIdleConfined(cpu) || cpuIn(pl.tickCPUs, cpu) {
+				return ev.At
+			}
+			if pl.affinity && len(pl.wakeCPUs) > 0 {
+				return ev.At
+			}
+			if !pl.affinity && cpuIn(pl.wakeCPUs, cpu) {
+				return ev.At
+			}
+			pl.tickCPUs = append(pl.tickCPUs, cpu)
+		case s.wakeKind:
+			cpu, live := s.wakeTarget(ev.Arg)
+			if !live {
+				continue
+			}
+			if s.laneForCPU(cpu) != ev.Lane {
+				return ev.At
+			}
+			if pl.affinity && len(pl.tickCPUs) > 0 {
+				return ev.At
+			}
+			pl.wakeCPUs = append(pl.wakeCPUs, cpu)
+		default:
+			return ev.At
+		}
+	}
+	return end
+}
+
+func cpuIn(set []mem.CPUID, cpu mem.CPUID) bool {
+	for _, c := range set {
+		if c == cpu {
+			return true
+		}
+	}
+	return false
+}
+
+// stepIdleConfined reports whether this CPU's next step event provably
+// takes the idle path, touching only lane-owned state. After workload
+// completion every step is a pure-read no-op, so it is trivially confined.
+func (s *System) stepIdleConfined(cpu mem.CPUID) bool {
+	if s.finished() {
+		return true
+	}
+	c := s.cpus[cpu]
+	if c.cur != nil || c.flushCharge != 0 || c.extraDelay != 0 {
+		return false
+	}
+	if c.pagerHead < len(c.pagerWork) && s.pg != nil {
+		return false
+	}
+	return s.schedul.IdleOn(cpu)
+}
+
+// wakeTarget decodes a wake event's arg (vmID<<32 | slotGen) against the
+// slot table: live is false for a stale wake (slot reused, process exited,
+// or never existed), whose handler is a pure read. For a live wake it
+// returns the CPU whose ready queue MakeRunnable would push onto right now.
+func (s *System) wakeTarget(arg uint64) (cpu mem.CPUID, live bool) {
+	id := mem.ProcID(arg >> 32)
+	if int(id) >= len(s.procs) {
+		return 0, false
+	}
+	p := s.procs[id]
+	if p == nil || p.slotGen != uint32(arg) || !p.alive {
+		return 0, false
+	}
+	return s.schedul.WakeCPU(p.sp), true
+}
+
+// laneForCPU maps a CPU to the event lane owning its node's kernel state.
+func (s *System) laneForCPU(cpu mem.CPUID) int {
+	return int(s.cfg.NodeOf(cpu)) % s.seng.Lanes()
+}

@@ -28,7 +28,7 @@ import (
 // introspect. Its timeline window is Duration/64, so every run yields a
 // deterministic ~64-bucket dispatch profile regardless of length.
 func (s *System) buildEngine() {
-	if s.opt.Shards > 1 || s.opt.CollectShardStats {
+	if s.opt.Shards > 1 || s.opt.CollectShardStats || s.opt.Workers >= 1 {
 		lanes := s.opt.Shards
 		if lanes < 1 {
 			lanes = 1
@@ -50,16 +50,30 @@ func (s *System) buildEngine() {
 // engine the run uses. On the sharded engine the step kind carries lane
 // affinity — a CPU's step events live on its node's lane (modulo the lane
 // count), which also owns that node's caches, TLBs, and local frame pool —
-// while wake events ride lane 0 because the scheduler is machine-global.
+// and wake events ride the lane owning the ready queue they will push onto
+// (the target CPU's node). A stale wake has no target queue; it spreads by
+// vm slot rather than pile onto lane 0. Routing is resolved at schedule
+// time and never affects the serialized merge (dispatch order is global
+// (time, sequence) regardless of lane), but it is what lets the guarded
+// epoch planner prove a wake delivery lane-confined — and what keeps lane 0
+// from becoming the dispatch hotspot the machine-global scheduler used to
+// make it.
 func (s *System) registerKinds() {
 	if s.seng != nil {
 		shards := s.seng.Lanes()
-		s.stepKind = s.seng.Register(func(_ *sim.Lane, now sim.Time, arg uint64) {
-			s.step(s.cpus[arg], now)
+		s.stepKind = s.seng.Register(func(l *sim.Lane, now sim.Time, arg uint64) {
+			c := s.cpus[arg]
+			c.lane = l
+			s.step(c, now)
 		}, func(arg uint64) int { return int(s.cfg.NodeOf(mem.CPUID(arg))) % shards })
 		s.wakeKind = s.seng.Register(func(_ *sim.Lane, now sim.Time, arg uint64) {
 			s.wakeProc(mem.ProcID(arg>>32), uint32(arg))
-		}, nil)
+		}, func(arg uint64) int {
+			if cpu, live := s.wakeTarget(arg); live {
+				return s.laneForCPU(cpu)
+			}
+			return int(arg>>32) % shards
+		})
 		return
 	}
 	s.stepKind = s.eng.Register(func(now sim.Time, arg uint64) {
@@ -109,9 +123,16 @@ func (s *System) schedEvery(period sim.Time, fn sim.Event, stop func() bool) {
 	s.eng.Every(period, fn, stop)
 }
 
-// engineRunUntil drives the run to the deadline.
+// engineRunUntil drives the run to the deadline: the serialized merge (or
+// the single-heap engine) when Workers is zero, guarded epochs when the run
+// asked for concurrency. Both paths produce byte-identical results — the
+// worker count is an execution knob, like the shard count.
 func (s *System) engineRunUntil(deadline sim.Time) {
 	if s.seng != nil {
+		if s.opt.Workers >= 1 {
+			s.seng.RunEpochs(s.opt.Workers, deadline)
+			return
+		}
 		s.seng.RunUntil(deadline)
 		return
 	}

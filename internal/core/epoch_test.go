@@ -1,0 +1,141 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"ccnuma/internal/obs"
+	"ccnuma/internal/workload"
+)
+
+// TestEpochWorkerNeutrality is the full-system concurrency hammer: for every
+// golden case (including the chaos fault-injection one), the guarded epoch
+// engine at shards {2,4} x workers {1..shards} must produce byte-identical
+// stats, events JSONL, time-series, and flight-recorder dumps to the
+// single-heap engine. Run under -race in `make ci` (the race target
+// re-executes it by name), which is what upgrades "byte-identical" from a
+// determinism statement to a data-race-freedom one: any kernel structure a
+// guarded window touches concurrently without confinement shows up here.
+func TestEpochWorkerNeutrality(t *testing.T) {
+	for _, tc := range shardCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(shards, workers int) []byte {
+				opt := tc.opt
+				opt.Shards = shards
+				opt.Workers = workers
+				opt.Recorder = obs.NewRecorder(128)
+				res, err := Run(tc.spec(), opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out := shardExports(t, res)
+				events, dropped := opt.Recorder.Dump()
+				var b bytes.Buffer
+				fmt.Fprintf(&b, "recorder dropped=%d\n", dropped)
+				for _, e := range events {
+					fmt.Fprintf(&b, "%+v\n", e)
+				}
+				return append(out, b.Bytes()...)
+			}
+			want := run(1, 0) // the single-heap reference engine
+			for _, shards := range []int{2, 4} {
+				for workers := 1; workers <= shards; workers *= 2 {
+					got := run(shards, workers)
+					if !bytes.Equal(want, got) {
+						t.Fatalf("shards=%d workers=%d diverged from the single-heap engine (%d vs %d bytes)\nfirst divergence: %s",
+							shards, workers, len(want), len(got), firstDiff(want, got))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEpochWorkersActuallyWindow guards the hammer against vacuity: on a
+// golden workload the kernel planner must clear real guarded windows (idle
+// ticks and wake deliveries running concurrently), or worker neutrality
+// holds trivially because everything serialized.
+func TestEpochWorkersActuallyWindow(t *testing.T) {
+	opt := shardCases()[0].opt
+	opt.Shards = 4
+	opt.Workers = 2
+	opt.CollectShardStats = true
+	res, err := Run(shardCases()[0].spec(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ShardStats.Epochs() == 0 {
+		t.Fatal("guarded mode cleared no windows on a golden workload — the planner serializes everything")
+	}
+}
+
+// TestLaneDispatchBalance pins the wake-routing fix: with wakes routed to
+// their target CPU's lane (instead of the machine-global lane 0), no lane
+// on a golden workload dispatches more than twice the per-lane mean. Lane 0
+// still carries everything unroutable — closures, periodics, stale wakes —
+// so the bound is a hotspot detector, not an exact-balance assertion.
+func TestLaneDispatchBalance(t *testing.T) {
+	for _, tc := range shardCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			opt := tc.opt
+			opt.Shards = 4
+			opt.CollectShardStats = true
+			res, err := Run(tc.spec(), opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := res.ShardStats
+			total := uint64(0)
+			for i := 0; i < st.Lanes(); i++ {
+				total += st.Lane(i).Dispatched
+			}
+			mean := total / uint64(st.Lanes())
+			for i := 0; i < st.Lanes(); i++ {
+				if d := st.Lane(i).Dispatched; d > 2*mean {
+					t.Fatalf("lane %d dispatched %d events, more than 2x the per-lane mean %d (total %d) — a machine-global hotspot",
+						i, d, mean, total)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkersAbsentFromFingerprint pins the memo contract for the new knob:
+// worker count is an execution detail like shard count, so two option sets
+// differing only in Workers share one fingerprint.
+func TestWorkersAbsentFromFingerprint(t *testing.T) {
+	a := Options{Seed: 9, Dynamic: true}
+	b := a
+	b.Shards = 4
+	b.Workers = 2
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("worker count leaked into the fingerprint:\n%s\n%s",
+			a.Fingerprint(), b.Fingerprint())
+	}
+}
+
+// TestWorkerOptionValidation pins the Workers normalization: negatives and
+// worker counts beyond the (post-clamp) shard count are rejected, and
+// Workers >= 1 alone is enough to select the sharded engine.
+func TestWorkerOptionValidation(t *testing.T) {
+	spec := func() *workload.Spec { return tinySpec(workload.SchedPinned, 1000) }
+	if _, err := Run(spec(), Options{Seed: 1, Workers: -1}); err == nil {
+		t.Fatal("negative worker count accepted")
+	}
+	if _, err := Run(spec(), Options{Seed: 1, Shards: 2, Workers: 3}); err == nil {
+		t.Fatal("workers > shards accepted")
+	}
+	// Shards beyond the node count clamp down; a worker count that only fit
+	// the pre-clamp shard count must fail loudly, not idle silently.
+	if _, err := Run(spec(), Options{Seed: 1, Shards: 64, Workers: 64}); err == nil {
+		t.Fatal("workers > clamped shard count accepted")
+	}
+	sys, err := NewSystem(spec(), Options{Seed: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.seng == nil {
+		t.Fatal("Workers=1 did not select the sharded engine")
+	}
+}

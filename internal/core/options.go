@@ -130,6 +130,15 @@ type Options struct {
 	// count produces byte-identical results — which is why Shards is
 	// excluded from Fingerprint and cannot perturb memo keys.
 	Shards int
+	// Workers is the number of worker goroutines the sharded engine drives
+	// guarded epoch windows with (sim.Sharded.RunEpochs). 0 keeps the fully
+	// serial merge; 1..Shards runs the planner-cleared lane-confined windows
+	// concurrently. Like Shards, it is purely an execution knob: the guarded
+	// mode is byte-identical to the serialized merge by construction (and
+	// gated by TestEpochWorkerNeutrality), so Workers is erased from
+	// Fingerprint and cannot perturb memo keys. Requires Workers <= Shards —
+	// a worker without a lane to drive is a configuration error.
+	Workers int
 	// CollectShardStats attaches the sharded engine's introspection layer
 	// (per-lane dispatch counts, heap high-water marks, cross-lane traffic,
 	// barrier stalls, windowed dispatch timeline) into Result.ShardStats.
@@ -163,6 +172,7 @@ func (o Options) Fingerprint() string {
 	// and the flight recorder (a write-only ring whose pointer would
 	// otherwise make every attempt's key unique).
 	o.Shards = 0
+	o.Workers = 0
 	o.CollectShardStats = false
 	o.Recorder = nil
 	return fmt.Sprintf("%+v", o)
@@ -213,6 +223,23 @@ func (o Options) withDefaults(spec specLike) (Options, error) {
 		// One lane per node is the natural maximum: a lane owns a node's
 		// CPUs, caches, TLBs, and local frame pool.
 		o.Shards = o.Config.Nodes
+	}
+	if o.Workers < 0 {
+		return o, fmt.Errorf("core: negative worker count %d", o.Workers)
+	}
+	if o.Workers > 0 {
+		// Workers drive lanes; more workers than lanes is a sizing mistake,
+		// not a request the engine can satisfy. The comparison uses the
+		// post-clamp shard count so "Workers = Shards = Nodes+k" fails loudly
+		// instead of silently idling k workers.
+		shards := o.Shards
+		if shards < 1 {
+			shards = 1
+		}
+		if o.Workers > shards {
+			return o, fmt.Errorf("core: %d workers exceed %d shards (need workers <= shards)",
+				o.Workers, shards)
+		}
 	}
 	if err := o.Config.Validate(); err != nil {
 		return o, err

@@ -22,14 +22,21 @@ const cyclesPerStep = 4
 
 // schedule arms cpu c's next step event. Each CPU's entire chain reuses one
 // registered typed event (stepKind with the CPU index as arg), so the
-// simulator's hottest call allocates nothing. The closure form is kept
-// behind Options.ClosureEvents as the determinism reference.
+// simulator's hottest call allocates nothing. On the sharded engine the
+// chain re-arms through the CPU's lane — identical to the engine-level call
+// under the serialized merge, and the journaled deferred-schedule path when
+// the step ran inside a guarded window. The closure form is kept behind
+// Options.ClosureEvents as the determinism reference.
 //
 //numalint:hotpath
 func (s *System) schedule(c *cpuState, at sim.Time) {
 	if s.opt.ClosureEvents {
 		//numalint:allow hotpath closure reference path gated by Options.ClosureEvents
 		s.schedAt(at, func(now sim.Time) { s.step(c, now) })
+		return
+	}
+	if c.lane != nil {
+		c.lane.AtKind(at, s.stepKind, uint64(c.id))
 		return
 	}
 	s.schedAtKind(at, s.stepKind, uint64(c.id))

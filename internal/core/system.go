@@ -56,6 +56,12 @@ type cpuState struct {
 	cur     *procState
 	quantum sim.Time // current quantum's end
 
+	// lane is the event lane this CPU's step chain runs on (nil on the
+	// single-heap engine). The step handler captures it on every dispatch;
+	// schedule() re-arms through it so an idle tick admitted into a guarded
+	// window journals its reschedule instead of touching the engine heap.
+	lane *sim.Lane
+
 	// pagerWork holds hot-page batches queued for this CPU's next step;
 	// pagerHead indexes the next unserviced batch so draining reuses one
 	// backing array instead of re-slicing it away.
@@ -164,7 +170,7 @@ func NewSystem(spec *workload.Spec, opt Options) (*System, error) {
 	for i := range spec.Procs {
 		s.respawnsLeft[i] = spec.Procs[i].MaxRespawns
 	}
-	s.val = cache.NewValidity(spec.Pages)
+	s.val = cache.NewValidity(spec.Pages, cfg.Nodes)
 	s.allocs = alloc.New(cfg.Nodes, cfg.FramesPerNode())
 	s.vmm = vm.New(spec.Pages, cfg.Nodes, s.allocs, s.val, opt.Placement)
 	s.vmm.Locate = func(pid mem.ProcID) mem.NodeID {
@@ -225,6 +231,12 @@ func NewSystem(spec *workload.Spec, opt Options) (*System, error) {
 		s.tracer = trace.WithCapacity(traceCapacity(opt.Duration, cfg))
 	}
 	s.registerKinds()
+	if s.seng != nil {
+		// The kernel's confinement planner switches RunEpochs into guarded
+		// mode: serial dispatch for anything touching machine-global state,
+		// concurrent windows for the provably lane-confined idle fraction.
+		s.seng.SetPlanner(newConfinePlanner(s))
+	}
 	s.wireObservability()
 
 	s.wireKernelRegions()

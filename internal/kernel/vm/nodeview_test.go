@@ -1,0 +1,84 @@
+package vm
+
+import (
+	"testing"
+
+	"ccnuma/internal/cache"
+	"ccnuma/internal/kernel/alloc"
+	"ccnuma/internal/mem"
+)
+
+// viewVM builds a 4-node VM with one process mapping every page's master on
+// node 0.
+func viewVM(t *testing.T, pages int) (*VM, mem.ProcID) {
+	t.Helper()
+	a := alloc.New(4, 64)
+	v := New(pages, 4, a, cache.NewValidity(pages, 4), FirstTouch)
+	proc := v.AddProcess()
+	for p := 0; p < pages; p++ {
+		v.Touch(proc, mem.GPage(p), 0)
+	}
+	return v, proc
+}
+
+func replicateOn(t *testing.T, v *VM, p mem.GPage, node mem.NodeID) {
+	t.Helper()
+	f := v.alloc.AllocOn(node, alloc.Replica)
+	if f == mem.NoFrame {
+		t.Fatalf("no frame on node %d", node)
+	}
+	if err := v.Replicate(p, f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplicaViewReclaimOrder pins the view's query contract: reclaims on a
+// node hand back its replicated pages lowest-page-first — exactly what the
+// machine-wide ascending scan the views replaced returned — and leave other
+// nodes' views untouched.
+func TestReplicaViewReclaimOrder(t *testing.T) {
+	v, _ := viewVM(t, 8)
+	for _, p := range []mem.GPage{5, 1, 7} {
+		replicateOn(t, v, p, 2)
+	}
+	replicateOn(t, v, 3, 1)
+
+	for _, want := range []mem.GPage{1, 5, 7} {
+		got, ok := v.ReclaimReplicaOn(2)
+		if !ok || got != want {
+			t.Fatalf("reclaim on node 2 = %d,%v, want %d,true", got, ok, want)
+		}
+	}
+	if _, ok := v.ReclaimReplicaOn(2); ok {
+		t.Fatal("node 2 still reports replicas after draining")
+	}
+	if got, ok := v.ReclaimReplicaOn(1); !ok || got != 3 {
+		t.Fatalf("node 1's view disturbed: reclaim = %d,%v, want 3,true", got, ok)
+	}
+}
+
+// TestReplicaViewLazyDeletion pins staleness handling: entries for replicas
+// torn down behind the view's back (collapse, release) are skipped, and a
+// replicate–collapse–replicate cycle's duplicate entries resolve without
+// double-reclaiming.
+func TestReplicaViewLazyDeletion(t *testing.T) {
+	v, _ := viewVM(t, 8)
+	replicateOn(t, v, 2, 3)
+	v.Collapse(2, 0) // view entry for page 2 on node 3 is now stale
+	replicateOn(t, v, 4, 3)
+	if got, ok := v.ReclaimReplicaOn(3); !ok || got != 4 {
+		t.Fatalf("stale entry not skipped: reclaim = %d,%v, want 4,true", got, ok)
+	}
+
+	// Duplicate entries: page 2 re-replicated on node 3 after the collapse.
+	replicateOn(t, v, 2, 3)
+	if got, ok := v.ReclaimReplicaOn(3); !ok || got != 2 {
+		t.Fatalf("reclaim = %d,%v, want 2,true", got, ok)
+	}
+	if _, ok := v.ReclaimReplicaOn(3); ok {
+		t.Fatal("duplicate view entry double-reclaimed")
+	}
+	if err := v.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -17,7 +17,7 @@ const (
 
 func newVM(place Placer) (*VM, *alloc.Allocator, *cache.Validity) {
 	a := alloc.New(tNodes, 64)
-	val := cache.NewValidity(tPages)
+	val := cache.NewValidity(tPages, 1)
 	v := New(tPages, tNodes, a, val, place)
 	return v, a, val
 }
@@ -337,7 +337,7 @@ func TestVMInvariantProperty(t *testing.T) {
 	f := func(seed uint64) bool {
 		r := sim.NewRand(seed)
 		a := alloc.New(tNodes, 64)
-		val := cache.NewValidity(tPages)
+		val := cache.NewValidity(tPages, 1)
 		v := New(tPages, tNodes, a, val, FirstTouch)
 		var procs []mem.ProcID
 		for i := 0; i < 4; i++ {

@@ -3,7 +3,7 @@
 // violation can reach the runtime tests that would otherwise be the first to
 // notice.
 //
-// The suite currently carries four checks plus directive hygiene:
+// The suite currently carries five checks plus directive hygiene:
 //
 //   - determinism: inside the deterministic packages (sim, core, obs,
 //     report), flag wall-clock reads (time.Now/time.Since), the global
@@ -25,6 +25,11 @@
 //   - faultpurity: the fault package may draw randomness only from its
 //     private sim.Rand stream — foreign RNGs and wall-clock reads are
 //     errors, because a chaos run must replay exactly from its seed.
+//   - laneconfined: functions annotated //numalint:lane-confined run
+//     concurrently across epoch lanes and must not read or write state
+//     annotated //numalint:machine-global (the serialized merge's clock and
+//     counters), so the confinement contract fails the build instead of
+//     racing at runtime.
 //
 // A finding is suppressed by a directive on its line or the line above:
 //
@@ -125,7 +130,7 @@ const DirectiveCheck = "directive"
 
 // Analyzers returns the suite's checks in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{determinism, hotpath, tracerguard, faultpurity}
+	return []*Analyzer{determinism, hotpath, tracerguard, faultpurity, laneconfined}
 }
 
 // knownCheck reports whether name is a check an allow directive may name.
@@ -280,14 +285,31 @@ func collectDirectives(pkg *Package) ([]*allowDirective, []Diagnostic) {
 	}
 
 	for _, f := range pkg.Files {
-		// Hotpath directives are only meaningful in a function's doc
-		// comment; anywhere else they silently annotate nothing.
+		// Hotpath and lane-confined directives are only meaningful in a
+		// function's doc comment; machine-global only attached to a var or
+		// field declaration. Anywhere else they silently annotate nothing.
 		funcDocs := map[*ast.CommentGroup]bool{}
 		for _, decl := range f.Decls {
 			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
 				funcDocs[fd.Doc] = true
 			}
 		}
+		declDocs := map[*ast.CommentGroup]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Field:
+				declDocs[n.Doc] = true
+				declDocs[n.Comment] = true
+			case *ast.GenDecl:
+				if n.Tok == token.VAR {
+					declDocs[n.Doc] = true
+				}
+			case *ast.ValueSpec:
+				declDocs[n.Doc] = true
+				declDocs[n.Comment] = true
+			}
+			return true
+		})
 
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -303,6 +325,14 @@ func collectDirectives(pkg *Package) ([]*allowDirective, []Diagnostic) {
 				case rest == "hotpath":
 					if !funcDocs[cg] {
 						report(c.Pos(), "hotpath directive must be part of a function's doc comment")
+					}
+				case rest == "lane-confined":
+					if !funcDocs[cg] {
+						report(c.Pos(), "lane-confined directive must be part of a function's doc comment")
+					}
+				case rest == "machine-global":
+					if !declDocs[cg] {
+						report(c.Pos(), "machine-global directive must be attached to a var or field declaration")
 					}
 				case strings.HasPrefix(rest, "allow"):
 					fields := strings.Fields(strings.TrimPrefix(rest, "allow"))

@@ -1,0 +1,40 @@
+// Package bad seeds the confinement violations the laneconfined check must
+// reject: a lane-confined function reading and writing machine-global struct
+// fields (directly and through a selector chain) and a machine-global
+// package var.
+package bad
+
+type engine struct {
+	//numalint:machine-global
+	now int64
+	//numalint:machine-global
+	seq uint64
+
+	lanes []lane
+}
+
+type lane struct {
+	s     *engine
+	local int64
+}
+
+//numalint:machine-global
+var fired uint64
+
+// Run is lane-confined yet touches all three machine-global identifiers:
+// a read of the clock, a write of the sequence counter through the lane's
+// back-pointer, and an increment of the package-level tally.
+//
+//numalint:lane-confined
+func (l *lane) Run() {
+	l.local = l.s.now
+	l.s.seq++
+	fired++
+}
+
+// Merge is unannotated: the barrier owns the globals and may touch them.
+func (e *engine) Merge() {
+	e.now++
+	e.seq++
+	fired++
+}

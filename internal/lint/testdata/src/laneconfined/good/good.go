@@ -1,0 +1,37 @@
+// Package good holds the confinement idioms the laneconfined check must
+// accept: lane-confined code working purely on lane-local state (including a
+// field named like a global on a different type) and unannotated code using
+// the globals freely.
+package good
+
+type engine struct {
+	//numalint:machine-global
+	now int64
+
+	lanes []lane
+}
+
+type lane struct {
+	// now is this lane's local clock: same name as the engine's global,
+	// different object, so the check must not confuse them.
+	now   int64
+	jrnl  []int64
+	local int64
+}
+
+// Run is lane-confined and touches only lane-local state; the lane's own
+// now field shadows the global's name without being it.
+//
+//numalint:lane-confined
+func (l *lane) Run() {
+	l.now++
+	l.jrnl = append(l.jrnl, l.local)
+}
+
+// Merge is the barrier: unannotated, so the machine-global clock is fair
+// game.
+func (e *engine) Merge() {
+	for i := range e.lanes {
+		e.now += e.lanes[i].local
+	}
+}

@@ -58,6 +58,12 @@ type Harness struct {
 	// shard count is excluded from the options fingerprint, so it can never
 	// perturb memo keys or results.
 	Shards int
+	// EpochWorkers is forwarded to every run's core.Options.Workers: the
+	// number of goroutines driving planner-cleared epoch windows inside each
+	// simulation (distinct from Workers, which parallelizes across
+	// simulations). Like Shards it is fingerprint-erased — byte-identical
+	// results at any worker count.
+	EpochWorkers int
 	// KeepGoing turns a run's final failure into a placeholder Result
 	// (Failed=true) plus a RunFailure record instead of a panic, so the rest
 	// of a grid still completes. Off, the first failure panics with the
@@ -220,6 +226,7 @@ func runKey(wl string, opt core.Options) string {
 func (h *Harness) Run(wl string, opt core.Options) *core.Result {
 	opt.Seed = h.Seed
 	opt.Shards = h.Shards
+	opt.Workers = h.EpochWorkers
 	key := runKey(wl, opt)
 
 	id := fmt.Sprintf("%016x", keyID(key))

@@ -1,0 +1,339 @@
+package sim
+
+import (
+	"sort"
+	"sync"
+)
+
+// Guarded epochs are RunEpochs' third drive mode, used when the model
+// installs a Planner. The legacy epoch mode requires every handler to be
+// lane-confined; a full-system kernel model cannot promise that, because a
+// busy CPU step touches machine-global structures (the validity filter's
+// write stamps, the home node's memory resources, the miss counters) on
+// every access. Guarded mode inverts the contract: the engine assumes every
+// event is machine-global unless the model's Planner proves otherwise, and
+// alternates between
+//
+//   - serial dispatch (plain Step, global schedule order) for everything the
+//     planner cannot clear, and
+//   - guarded windows: a prefix of the candidate window in which every event
+//     is lane-confined and pairwise independent, dispatched concurrently on
+//     worker goroutines.
+//
+// Byte-identity with the serialized merge holds by construction:
+//
+//  1. Window membership is planned before dispatch from heap state alone, so
+//     the serial/parallel split is a pure function of the model, never of
+//     goroutine timing or worker count.
+//  2. Events inside a window may not touch the global clock or sequence
+//     stream. All scheduling they do is deferred into per-lane journals
+//     keyed by (parent dispatch time, parent sequence, call order); at the
+//     barrier the journals merge in exactly that order and each entry is
+//     assigned the next global sequence number. Because the parent key is
+//     the serialized merge's dispatch order and the call order is the serial
+//     call order, the assigned sequence numbers — and therefore every later
+//     dispatch decision — are identical to a fully serial run.
+//  3. The engine clamps any planner answer by rules it can check itself:
+//     closure and periodic events always serialize, and a virtual instant
+//     that appears on two lanes serializes (cross-lane ties are where the
+//     serialized merge's global order is the only order).
+//
+// The planner is therefore trusted only for *parallelism*, never for
+// *correctness of ordering*: a wrong planner can at worst admit events that
+// race on shared state (caught by -race and the byte-identity gates), while
+// a conservative planner only loses concurrency.
+type Planner interface {
+	// Guardable is the cheap pre-filter: may this event ever run inside a
+	// guarded window? The engine consults it on the globally next event
+	// before paying for window assembly, so the busy-CPU common case costs
+	// one call. Returning true only means "worth planning", not "admitted".
+	Guardable(ev WindowEvent) bool
+	// PlanWindow returns the cut time for a candidate window: every event
+	// with At < cut runs concurrently, everything at or after the cut stays
+	// serial. evs is sorted by (At, Seq) — the serialized merge's dispatch
+	// order — and spans [base, end). Returning base (or anything <= base)
+	// serializes the whole window. The engine further clamps the answer by
+	// its own rules (closures, periodics, cross-lane ties), so the planner
+	// only needs to reason about its model's state.
+	PlanWindow(base, end Time, evs []WindowEvent) Time
+}
+
+// WindowEvent is the planner's view of one pending event.
+type WindowEvent struct {
+	At   Time
+	Seq  uint64
+	Kind Kind // noKind (-1) for closure events
+	Arg  uint64
+	Lane int
+}
+
+// deferred is one schedule call journaled during a guarded window, keyed so
+// the barrier can replay the serialized merge's sequence assignment: parent
+// (At, Seq) orders events exactly as serial dispatch would, order numbers
+// the calls within one handler invocation.
+type deferred struct {
+	parentAt  Time
+	parentSeq uint64
+	order     uint32
+	at        Time
+	kind      Kind
+	arg       uint64
+	src       int32
+}
+
+// SetPlanner installs the model's window planner, switching RunEpochs from
+// the legacy lane-confined epoch mode to guarded mode. Pass nil to restore
+// the legacy behaviour.
+func (s *Sharded) SetPlanner(p Planner) { s.planner = p }
+
+// runGuarded is RunEpochs' guarded mode: serial dispatch by default, with
+// planner-cleared windows running concurrently on workers goroutines. The
+// clock contract matches RunUntil: events at or before deadline dispatch,
+// and the clock ends at deadline.
+func (s *Sharded) runGuarded(workers int, deadline Time) {
+	for {
+		base, ok := s.minHead()
+		if !ok || base > deadline {
+			break
+		}
+		// Fast path: when the globally next event can never run inside a
+		// window (a busy CPU step, a pager batch, a periodic), dispatch it
+		// serially without paying for window assembly.
+		if !s.headGuardable() {
+			s.Step()
+			continue
+		}
+		end := base + s.lookahead
+		if end > deadline {
+			// The final window is clamped so events exactly at the deadline
+			// still run (candidates are popped with at < end).
+			end = deadline + 1
+		}
+		cut := s.assembleWindow(base, end)
+		if cut <= base {
+			s.Step()
+			continue
+		}
+		s.runWindow(base, cut, workers)
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// headGuardable reports whether the globally next event could run inside a
+// guarded window. Callers guarantee at least one event is pending.
+func (s *Sharded) headGuardable() bool {
+	best := -1
+	for i, l := range s.lanes {
+		if len(l.heap) == 0 {
+			continue
+		}
+		if best < 0 || headLess(l.heap[0], s.lanes[best].heap[0]) {
+			best = i
+		}
+	}
+	it := s.lanes[best].heap[0]
+	if it.kind < 0 || (s.hasPeriodic && it.kind == s.periodicKind) {
+		return false
+	}
+	return s.planner.Guardable(WindowEvent{At: it.at, Seq: it.seq, Kind: it.kind, Arg: it.arg, Lane: best})
+}
+
+// assembleWindow pops every event in [base, end) into its lane's window
+// slice, asks the planner for a cut, clamps it by the engine's own rules,
+// and pushes back everything at or past the cut. It returns the final cut;
+// a cut <= base means the window dissolved and the caller steps serially.
+func (s *Sharded) assembleWindow(base, end Time) Time {
+	evs := s.winEvs[:0]
+	for i, l := range s.lanes {
+		for len(l.heap) > 0 && l.heap[0].at < end {
+			it := l.pop()
+			l.cand = append(l.cand, it)
+			evs = append(evs, WindowEvent{At: it.at, Seq: it.seq, Kind: it.kind, Arg: it.arg, Lane: i})
+		}
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].At != evs[j].At {
+			return evs[i].At < evs[j].At
+		}
+		return evs[i].Seq < evs[j].Seq
+	})
+	cut := s.planner.PlanWindow(base, end, evs)
+	if cut > end {
+		cut = end
+	}
+	cut = clampGuard(s, cut, evs)
+	for _, l := range s.lanes {
+		keep := 0
+		for _, it := range l.cand {
+			if it.at < cut {
+				l.cand[keep] = it
+				keep++
+			} else {
+				l.push(it)
+			}
+		}
+		l.cand = l.cand[:keep]
+	}
+	s.winEvs = evs[:0]
+	return cut
+}
+
+// clampGuard applies the ordering rules the engine enforces regardless of
+// the planner's answer: closure and periodic events always serialize, and a
+// virtual instant appearing on more than one lane serializes — for equal
+// times the global sequence stream is the only order, and only the
+// serialized merge holds it.
+func clampGuard(s *Sharded, cut Time, evs []WindowEvent) Time {
+	for i, ev := range evs {
+		if ev.At >= cut {
+			break
+		}
+		if ev.Kind < 0 || (s.hasPeriodic && ev.Kind == s.periodicKind) {
+			return ev.At
+		}
+		if i > 0 && ev.At == evs[i-1].At && ev.Lane != evs[i-1].Lane {
+			return ev.At
+		}
+	}
+	return cut
+}
+
+// runWindow dispatches every lane's planned slice, lanes in parallel across
+// workers goroutines, then folds lane clocks and fired counts back into the
+// engine and delivers the deferred-schedule journals in serial order.
+func (s *Sharded) runWindow(base, cut Time, workers int) {
+	if len(s.laneErrs) != len(s.lanes) {
+		s.laneErrs = make([]any, len(s.lanes))
+	}
+	for _, l := range s.lanes {
+		l.now = s.now
+		l.winCut = cut
+	}
+	s.inWindow = true
+	if workers <= 1 || len(s.lanes) == 1 {
+		for i, l := range s.lanes {
+			s.laneErrs[i] = l.runGuardedLane()
+			if st := s.stats; st != nil {
+				st.noteLaneDone(i)
+			}
+		}
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(s.lanes); i += workers {
+					s.laneErrs[i] = s.lanes[i].runGuardedLane()
+					if st := s.stats; st != nil {
+						st.noteLaneDone(i)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	s.inWindow = false
+	// A panic inside a lane is re-raised on the caller's goroutine — lowest
+	// lane first, so even failure is deterministic.
+	for _, r := range s.laneErrs {
+		if r != nil {
+			panic(r)
+		}
+	}
+	for _, l := range s.lanes {
+		s.fired += l.fired
+		l.fired = 0
+		if l.now > s.now {
+			s.now = l.now
+		}
+	}
+	delivered := s.deliverJournals()
+	if st := s.stats; st != nil {
+		st.noteEpoch(base, cut, delivered)
+	}
+}
+
+// runGuardedLane dispatches the lane's planned window slice in (time,
+// sequence) order, tracking the dispatching parent so deferred schedules
+// carry their serial-order key. The returned value is a captured panic (nil
+// on success); capturing here keeps failure deterministic under any worker
+// count.
+//
+//numalint:lane-confined
+func (l *Lane) runGuardedLane() (err any) {
+	defer func() { err = recover() }()
+	for _, it := range l.cand {
+		l.now = it.at
+		l.fired++
+		if st := l.s.stats; st != nil {
+			st.NoteLaneDispatch(int(l.idx))
+		}
+		l.parentAt, l.parentSeq, l.parentOrder = it.at, it.seq, 0
+		l.s.handlers[it.kind](l, l.now, it.arg)
+	}
+	l.cand = l.cand[:0]
+	return nil
+}
+
+// deferSchedule journals a schedule call made inside a guarded window. The
+// entry must land at or past the window cut: everything before the cut was
+// already planned, so an intra-window arrival would have missed its slot.
+// The lookahead bound makes this impossible for well-sized models (nothing
+// reschedules itself faster than the minimum cross-lane latency); the panic
+// turns a mis-sized model into a deterministic failure instead of a silent
+// causality violation.
+//
+//numalint:hotpath
+//numalint:lane-confined
+func (l *Lane) deferSchedule(at Time, k Kind, arg uint64) {
+	if k < 0 || int(k) >= len(l.s.handlers) {
+		panic("sim: unregistered event kind")
+	}
+	if at < l.winCut {
+		panic("sim: event scheduled inside the guarded window")
+	}
+	l.parentOrder++
+	l.jrnl = append(l.jrnl, deferred{
+		parentAt: l.parentAt, parentSeq: l.parentSeq, order: l.parentOrder,
+		at: at, kind: k, arg: arg, src: l.idx,
+	})
+}
+
+// deliverJournals merges every lane's deferred schedules in (parent time,
+// parent sequence, call order) — the exact order a serial run would have
+// made these calls — and assigns each the next global sequence number
+// before pushing it onto its owning lane's heap. This replays the
+// serialized merge's sequence assignment bit for bit, which is what makes
+// every later (time, sequence) dispatch decision identical to a serial run.
+func (s *Sharded) deliverJournals() int {
+	defs := s.defs[:0]
+	for _, l := range s.lanes {
+		defs = append(defs, l.jrnl...)
+		l.jrnl = l.jrnl[:0]
+	}
+	sort.Slice(defs, func(i, j int) bool {
+		a, b := defs[i], defs[j]
+		if a.parentAt != b.parentAt {
+			return a.parentAt < b.parentAt
+		}
+		if a.parentSeq != b.parentSeq {
+			return a.parentSeq < b.parentSeq
+		}
+		return a.order < b.order
+	})
+	for i := range defs {
+		d := &defs[i]
+		s.seq++
+		dst := s.laneOf(d.kind, d.arg)
+		if st := s.stats; st != nil && int(d.src) != dst {
+			st.NoteCross(int(d.src), dst)
+		}
+		s.lanes[dst].push(item{at: d.at, seq: s.seq, kind: d.kind, arg: d.arg})
+	}
+	n := len(defs)
+	s.defs = defs[:0]
+	return n
+}

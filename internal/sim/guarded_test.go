@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// guardedModel is a mixed toy machine for the guarded mode: per-lane ticks
+// (lane-confined, guardable) interleaved with machine-global "busy" events
+// that mix one shared accumulator and fan out to other lanes — the shape of
+// a full-system run, where only the idle fraction of the event stream may
+// parallelize.
+type guardedModel struct {
+	s      *Sharded
+	state  []uint64 // per-lane, touched only by ticks on that lane
+	global uint64   // machine-global, touched only by busy events
+	logs   [][]fireRec
+	ticks  []int
+	tickK  Kind
+	busyK  Kind
+}
+
+const guardedLookahead = 50
+
+func newGuardedModel(lanes int) *guardedModel {
+	m := &guardedModel{
+		s:     NewSharded(lanes, guardedLookahead),
+		state: make([]uint64, lanes),
+		logs:  make([][]fireRec, lanes),
+		ticks: make([]int, lanes),
+	}
+	laneArg := func(arg uint64) int { return int(arg) % lanes }
+	m.tickK = m.s.Register(m.onTick, laneArg)
+	m.busyK = m.s.Register(m.onBusy, laneArg)
+	for i := 0; i < lanes; i++ {
+		// Distinct start instants so guarded windows actually form (the
+		// engine serializes cross-lane ties).
+		m.s.AtKind(Time(100+13*i), m.tickK, uint64(i))
+	}
+	return m
+}
+
+func (m *guardedModel) onTick(l *Lane, now Time, arg uint64) {
+	i := l.Index()
+	m.state[i] = m.state[i]*0x9e3779b97f4a7c15 + uint64(now)
+	m.logs[i] = append(m.logs[i], fireRec{At: now, Kind: 0, Arg: arg})
+	m.ticks[i]++
+	if m.ticks[i] < 60 {
+		l.AtKind(now+100, m.tickK, arg)
+	}
+	if m.ticks[i]%5 == 0 {
+		// Fan a machine-global event out to another lane, past the window.
+		l.AtKind(now+151, m.busyK, uint64((i+1)%len(m.state)))
+	}
+}
+
+func (m *guardedModel) onBusy(l *Lane, now Time, arg uint64) {
+	m.global = m.global*0x2545f4914f6cdd1d + uint64(now)<<8 + arg
+	m.logs[l.Index()] = append(m.logs[l.Index()], fireRec{At: now, Kind: 1, Arg: arg})
+	if m.global%3 == 0 {
+		l.AtKind(now+77, m.busyK, m.global%uint64(len(m.state)))
+	}
+}
+
+// guardedPlanner admits only ticks: busy events are machine-global and must
+// serialize. The cut is the first non-tick candidate (or the window end).
+type guardedPlanner struct{ m *guardedModel }
+
+func (p *guardedPlanner) Guardable(ev WindowEvent) bool { return ev.Kind == p.m.tickK }
+
+func (p *guardedPlanner) PlanWindow(base, end Time, evs []WindowEvent) Time {
+	for _, ev := range evs {
+		if ev.Kind != p.m.tickK {
+			return ev.At
+		}
+	}
+	return end
+}
+
+// TestGuardedEpochsMatchSerializedMerge is the mode's core contract: with a
+// planner installed, RunEpochs must be byte-identical to the serialized
+// merge — same per-lane logs, same global accumulator, same clock and fired
+// count — at every worker count, with real parallelism.
+func TestGuardedEpochsMatchSerializedMerge(t *testing.T) {
+	const lanes = 4
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	serial := newGuardedModel(lanes)
+	serial.s.RunUntil(20000)
+	for _, workers := range []int{1, 2, 4} {
+		m := newGuardedModel(lanes)
+		m.s.SetPlanner(&guardedPlanner{m})
+		m.s.RunEpochs(workers, 20000)
+		if m.global != serial.global || !reflect.DeepEqual(m.state, serial.state) {
+			t.Fatalf("workers=%d: state diverged from serialized merge:\nguarded global=%d state=%v\nserial  global=%d state=%v",
+				workers, m.global, m.state, serial.global, serial.state)
+		}
+		if !reflect.DeepEqual(m.logs, serial.logs) {
+			t.Fatalf("workers=%d: per-lane logs diverged from serialized merge", workers)
+		}
+		if m.s.Now() != serial.s.Now() || m.s.Fired() != serial.s.Fired() {
+			t.Fatalf("workers=%d: clock/fired diverged: guarded %v/%d serial %v/%d",
+				workers, m.s.Now(), m.s.Fired(), serial.s.Now(), serial.s.Fired())
+		}
+	}
+}
+
+// TestGuardedEpochsActuallyParallelize guards against the vacuous pass: the
+// planner above must clear real windows (not serialize everything), or the
+// identity test proves nothing about concurrency.
+func TestGuardedEpochsActuallyParallelize(t *testing.T) {
+	m := newGuardedModel(4)
+	m.s.SetPlanner(&guardedPlanner{m})
+	m.s.EnableStats(0)
+	m.s.RunEpochs(2, 20000)
+	st := m.s.Stats()
+	if st.Epochs() == 0 {
+		t.Fatal("guarded mode cleared no windows — the planner serialized everything")
+	}
+}
+
+// TestGuardedWindowScheduleInsidePanics pins the journal's causality check:
+// an admitted event that schedules back inside its own window is a
+// deterministic panic, not a silent ordering violation.
+func TestGuardedWindowScheduleInsidePanics(t *testing.T) {
+	s := NewSharded(2, 1000)
+	var k Kind
+	k = s.Register(func(l *Lane, now Time, arg uint64) {
+		l.AtKind(now+1, k, arg) // 1ns out: inside any window that admitted us
+	}, func(arg uint64) int { return int(arg) % 2 })
+	s.AtKind(100, k, 0)
+	s.SetPlanner(admitAll{})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("schedule inside the guarded window did not panic")
+		}
+		if msg := fmt.Sprint(r); msg != "sim: event scheduled inside the guarded window" {
+			t.Fatalf("unexpected panic: %v", msg)
+		}
+	}()
+	s.RunEpochs(2, Millisecond)
+}
+
+// TestGuardedWindowEngineSchedulePanics pins the other guard: handler code
+// that bypasses its lane and schedules through the engine during a window
+// would race the global sequence stream, so it panics.
+func TestGuardedWindowEngineSchedulePanics(t *testing.T) {
+	s := NewSharded(2, 1000)
+	var k Kind
+	k = s.Register(func(l *Lane, now Time, arg uint64) {
+		s.AtKind(now+2000, k, arg)
+	}, func(arg uint64) int { return int(arg) % 2 })
+	s.AtKind(100, k, 0)
+	s.SetPlanner(admitAll{})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("engine-level schedule during a guarded window did not panic")
+		}
+		if msg := fmt.Sprint(r); msg != "sim: engine-level schedule during a guarded window" {
+			t.Fatalf("unexpected panic: %v", msg)
+		}
+	}()
+	s.RunEpochs(1, Millisecond)
+}
+
+// admitAll clears every typed event (test planner; the engine's own clamps
+// still apply).
+type admitAll struct{}
+
+func (admitAll) Guardable(WindowEvent) bool                   { return true }
+func (admitAll) PlanWindow(_, end Time, _ []WindowEvent) Time { return end }
+
+// TestGuardedResumesSerial checks mode switching: events pending past a
+// guarded RunEpochs deadline still dispatch identically under the
+// serialized merge afterwards.
+func TestGuardedResumesSerial(t *testing.T) {
+	m := newGuardedModel(2)
+	m.s.SetPlanner(&guardedPlanner{m})
+	m.s.RunEpochs(2, 600)
+	if m.s.Now() != 600 {
+		t.Fatalf("clock after guarded RunEpochs = %v, want 600", m.s.Now())
+	}
+	m.s.RunUntil(20000)
+	ref := newGuardedModel(2)
+	ref.s.RunUntil(20000)
+	if m.global != ref.global || !reflect.DeepEqual(m.state, ref.state) || !reflect.DeepEqual(m.logs, ref.logs) {
+		t.Fatal("guarded-then-serial run diverged from all-serial run")
+	}
+}

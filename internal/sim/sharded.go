@@ -42,6 +42,12 @@ import (
 // cross-lane arrival after lane-local events already scheduled for the same
 // instant. Models whose cross-lane latencies avoid exact ties (as the NUMA
 // latencies do) behave identically under both.
+//
+// A third mode, guarded epochs (guarded.go), activates when the model
+// installs a Planner via SetPlanner: RunEpochs then alternates serial
+// dispatch with planner-cleared concurrent windows and is byte-identical to
+// the serialized merge by construction — the mode full-system kernel runs
+// use, since their handlers are not lane-confined in general.
 type Sharded struct {
 	handlers []LaneHandler
 	laneFns  []func(arg uint64) int
@@ -52,17 +58,34 @@ type Sharded struct {
 	lookahead Time
 
 	// Serialized-merge state: a global clock and schedule-order counter,
-	// exactly mirroring Engine.
-	now   Time
-	seq   uint64
+	// exactly mirroring Engine. Machine-global: lane-confined code (the
+	// guarded window runner and everything it calls) must never touch these —
+	// numalint's laneconfined check enforces it.
+	//
+	//numalint:machine-global
+	now Time
+	//numalint:machine-global
+	seq uint64
+	//numalint:machine-global
 	fired uint64
 
-	// concurrent is true only inside RunEpochs, switching Lane scheduling
-	// from the global sequence stream to lane-local streams and mailboxes.
+	// concurrent is true only inside legacy RunEpochs, switching Lane
+	// scheduling from the global sequence stream to lane-local streams and
+	// mailboxes.
 	concurrent bool
 
-	// posts is the barrier's merge scratch, reused across epochs.
-	posts []post
+	// planner switches RunEpochs to guarded mode (guarded.go): serial
+	// dispatch by default, planner-cleared windows in parallel. inWindow is
+	// true only while a guarded window's lanes are running.
+	planner  Planner
+	inWindow bool
+
+	// posts is the barrier's merge scratch, reused across epochs; winEvs,
+	// defs, and laneErrs are the guarded mode's equivalents.
+	posts    []post
+	winEvs   []WindowEvent
+	defs     []deferred
+	laneErrs []any
 
 	// Periodic schedules share one registered kind, as in Engine.
 	periodics    []periodic
@@ -96,6 +119,16 @@ type Lane struct {
 	fired    uint64
 	epochEnd Time
 	out      []post
+
+	// Guarded-mode state (guarded.go): the planned window slice, the window
+	// cut, the deferred-schedule journal, and the dispatching parent's
+	// serial-order key.
+	cand        []item
+	winCut      Time
+	jrnl        []deferred
+	parentAt    Time
+	parentSeq   uint64
+	parentOrder uint32
 }
 
 // post is one cross-lane typed event waiting in a mailbox for the epoch
@@ -178,6 +211,9 @@ func (s *Sharded) laneOf(k Kind, arg uint64) int {
 // live on lane 0; the serialized merge dispatches them in exact global
 // schedule order regardless.
 func (s *Sharded) At(at Time, fn Event) {
+	if s.inWindow {
+		panic("sim: engine-level schedule during a guarded window")
+	}
 	if at < s.now {
 		panic("sim: event scheduled in the past")
 	}
@@ -199,6 +235,9 @@ func (s *Sharded) After(d Time, fn Event) {
 //
 //numalint:hotpath
 func (s *Sharded) AtKind(at Time, k Kind, arg uint64) {
+	if s.inWindow {
+		panic("sim: engine-level schedule during a guarded window")
+	}
 	if at < s.now {
 		panic("sim: event scheduled in the past")
 	}
@@ -351,6 +390,10 @@ func (s *Sharded) RunEpochs(workers int, deadline Time) {
 	if workers > len(s.lanes) {
 		workers = len(s.lanes)
 	}
+	if s.planner != nil {
+		s.runGuarded(workers, deadline)
+		return
+	}
 	s.concurrent = true
 	for _, l := range s.lanes {
 		l.now = s.now
@@ -488,10 +531,10 @@ func (l *Lane) runTo(end, park Time) {
 // Index returns the lane's position in the engine.
 func (l *Lane) Index() int { return int(l.idx) }
 
-// Now returns the lane's clock: the lane-local clock inside an epoch, the
-// engine clock under the serialized merge.
+// Now returns the lane's clock: the lane-local clock inside an epoch or a
+// guarded window, the engine clock under the serialized merge.
 func (l *Lane) Now() Time {
-	if l.s.concurrent {
+	if l.s.concurrent || l.s.inWindow {
 		return l.now
 	}
 	return l.s.now
@@ -508,6 +551,10 @@ func (l *Lane) Now() Time {
 //numalint:hotpath
 func (l *Lane) AtKind(at Time, k Kind, arg uint64) {
 	s := l.s
+	if s.inWindow {
+		l.deferSchedule(at, k, arg)
+		return
+	}
 	if !s.concurrent {
 		s.AtKind(at, k, arg)
 		return
@@ -545,6 +592,11 @@ func (l *Lane) AfterKind(d Time, k Kind, arg uint64) {
 // mode the event stays on this lane.
 func (l *Lane) At(at Time, fn Event) {
 	s := l.s
+	if s.inWindow {
+		// The planner never admits an event whose handler schedules
+		// closures, so this is only reachable through a planner bug.
+		panic("sim: closure scheduled during a guarded window")
+	}
 	if !s.concurrent {
 		s.At(at, fn)
 		return
