@@ -3,9 +3,10 @@ GO ?= go
 # Tier-1 verification plus formatting, the race detector, and benchmark
 # smoke runs. `make ci` is what a CI job should run.
 .PHONY: ci fmt-check vet lint build test race fault-smoke bench-smoke \
-	obs-bench-smoke obs-shard-smoke epoch-smoke bench bench-json bench-json-smoke
+	obs-bench-smoke obs-shard-smoke epoch-smoke serve-smoke serve-bench \
+	bench bench-json bench-json-smoke
 
-ci: fmt-check vet lint build race fault-smoke bench-smoke obs-bench-smoke obs-shard-smoke epoch-smoke bench-json-smoke
+ci: fmt-check vet lint build race fault-smoke bench-smoke obs-bench-smoke obs-shard-smoke epoch-smoke serve-smoke bench-json-smoke
 
 # gofmt -l prints nonconforming files; any output fails the target.
 fmt-check:
@@ -93,6 +94,22 @@ epoch-smoke:
 			{ echo "epoch-smoke: -shards $$1 -workers $$2 diverges from the serial engine"; exit 1; }; \
 	done; \
 	echo "epoch-smoke: byte-identical at shards/workers 1/1 2/2 4/4"
+
+# End-to-end check of the simulation server: builds the real numasim and
+# numasimd binaries, byte-diffs a served response against `numasim -json`,
+# hammers the bounded queue (only 200s and deliberate 429s allowed), and
+# SIGTERMs the daemon with a request in flight expecting a clean exit 0.
+serve-smoke:
+	$(GO) test -run TestServeSmoke -count=1 ./cmd/numasimd
+
+# Machine-readable record of the serving-layer benchmarks: the warm
+# cache-hit path and the cold full-simulation path, one iteration each,
+# parsed by cmd/benchjson into BENCH_9.json.
+serve-bench:
+	$(GO) test -run '^$$' -bench 'ServeCachedHit|ServeUncached' \
+		-benchmem -benchtime 1x ./internal/serve \
+		| $(GO) run ./cmd/benchjson -out BENCH_9.json
+	@echo wrote BENCH_9.json
 
 # The full paper-regeneration benchmark suite (see bench_test.go).
 bench:

@@ -9,7 +9,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -22,10 +21,9 @@ import (
 	"ccnuma/internal/policy"
 	"ccnuma/internal/profiling"
 	"ccnuma/internal/report"
+	"ccnuma/internal/serve"
 	"ccnuma/internal/sim"
 	"ccnuma/internal/stats"
-	"ccnuma/internal/topology"
-	"ccnuma/internal/workload"
 )
 
 func main() {
@@ -79,79 +77,6 @@ func main() {
 		*missPth = *oldMiss
 	}
 
-	build, err := workload.ByName(*wl)
-	if err != nil {
-		fatal(err)
-	}
-	spec := build(*scale, *seed)
-
-	var cfg topology.Config
-	switch *cfgName {
-	case "ccnuma":
-		cfg = topology.CCNUMA()
-	case "ccnow":
-		cfg = topology.CCNOW()
-	case "zeronet":
-		cfg = topology.ZeroNet()
-	default:
-		fatal(fmt.Errorf("unknown config %q", *cfgName))
-	}
-	cfg.TrackTLBHolders = *track
-	cfg.DirCopy = *dircopy
-
-	opt := core.Options{
-		Config:            cfg,
-		Seed:              *seed,
-		Shards:            *shards,
-		Workers:           *workers,
-		Duration:          sim.Time(dur.Nanoseconds()),
-		CollectTrace:      *missPth != "",
-		CollectEvents:     *eventsPth != "" || *jsonlPth != "",
-		CollectShardStats: *shardsPth != "",
-		DebugChecks:       *debug,
-	}
-	if *seriesPth != "" {
-		if *interval <= 0 {
-			fatal(fmt.Errorf("-sample-interval must be positive"))
-		}
-		opt.SampleInterval = sim.Time(interval.Nanoseconds())
-	}
-	switch *metric {
-	case "fc":
-		opt.Metric = core.FullCache
-	case "sc":
-		opt.Metric = core.SampledCache
-	case "ft":
-		opt.Metric = core.FullTLB
-	case "st":
-		opt.Metric = core.SampledTLB
-	default:
-		fatal(fmt.Errorf("unknown metric %q", *metric))
-	}
-	switch *pol {
-	case "rr":
-		opt.RoundRobin = true
-	case "ft":
-	case "migr", "repl", "migrep":
-		opt.Dynamic = true
-		opt.Params = policy.Base().WithTrigger(spec.Trigger)
-		if *trigger > 0 {
-			opt.Params = opt.Params.WithTrigger(uint16(*trigger))
-		}
-		if *pol == "migr" {
-			opt.Params = opt.Params.MigrationOnly()
-		}
-		if *pol == "repl" {
-			opt.Params = opt.Params.ReplicationOnly()
-		}
-		opt.Params.MigrateWriteShared = *wshared
-		opt.Params.DisableRemap = *noremap
-		opt.AdaptiveTrigger = *adaptive
-		opt.ReclaimColdReplicas = *reclaim
-	default:
-		fatal(fmt.Errorf("unknown policy %q", *pol))
-	}
-
 	// Drain and slow-link faults key off their node flags; the Config fields
 	// stay zero otherwise so the default fingerprint (and output) is identical
 	// to a build without the fault layer.
@@ -178,7 +103,50 @@ func main() {
 		fc.SlowNode = *slowNode
 		fc.SlowFactor = *slowFactor
 	}
-	opt.Faults = fc
+
+	// Flags assemble into the same serve.Request numasimd accepts over HTTP,
+	// and both render results through serve.WriteResultJSON — so a served
+	// response is byte-identical to this binary's -json output by
+	// construction (`make serve-smoke` diffs the two).
+	req := serve.Request{
+		Workload:       *wl,
+		Policy:         *pol,
+		Config:         *cfgName,
+		Scale:          *scale,
+		Seed:           seed,
+		Shards:         *shards,
+		Workers:        *workers,
+		DurationNS:     dur.Nanoseconds(),
+		Trigger:        uint16(*trigger),
+		Metric:         *metric,
+		TrackTLB:       *track,
+		DirCopy:        *dircopy,
+		Adaptive:       *adaptive,
+		Reclaim:        *reclaim,
+		MigWriteShared: *wshared,
+		NoRemap:        *noremap,
+		Faults:         &fc,
+	}
+	job, err := req.Build()
+	if err != nil {
+		fatal(err)
+	}
+	spec := job.Spec()
+
+	// CLI-only collection knobs ride on top of the shared option set; none of
+	// them is part of the request wire shape (a server never writes local
+	// trace files).
+	opt := job.Opt
+	opt.CollectTrace = *missPth != ""
+	opt.CollectEvents = *eventsPth != "" || *jsonlPth != ""
+	opt.CollectShardStats = *shardsPth != ""
+	opt.DebugChecks = *debug
+	if *seriesPth != "" {
+		if *interval <= 0 {
+			fatal(fmt.Errorf("-sample-interval must be positive"))
+		}
+		opt.SampleInterval = sim.Time(interval.Nanoseconds())
+	}
 
 	stopProf, err := profiling.Start(*cpuProf, *memProf)
 	if err != nil {
@@ -319,41 +287,11 @@ func printFaults(r *core.Result) {
 		r.Alloc.TransientFailures, r.VM.AllocRetries)
 }
 
-// printJSON emits a machine-readable summary (per-CPU breakdowns omitted;
-// use the library for full detail).
+// printJSON emits the machine-readable summary through the serving layer's
+// renderer — the single source of the -json byte format (numasimd responses
+// are byte-identical by construction).
 func printJSON(r *core.Result) {
-	_, local, remote := r.Agg.MemStall()
-	out := map[string]any{
-		"workload":            r.Workload,
-		"policy":              r.Policy,
-		"elapsed_ns":          int64(r.Elapsed),
-		"nonidle_ns":          int64(r.Agg.NonIdle()),
-		"idle_ns":             int64(r.Agg.Idle),
-		"stall_local_ns":      int64(local),
-		"stall_remote_ns":     int64(remote),
-		"pager_overhead_ns":   int64(r.Agg.Pager.Total()),
-		"local_miss_fraction": r.LocalMissFraction,
-		"avg_remote_ns":       int64(r.AvgRemoteLatency),
-		"sched_migrations":    r.SchedMigrations,
-		"steps":               r.Steps,
-		"vm": map[string]uint64{
-			"faults": r.VM.Faults, "migrations": r.VM.Migrates,
-			"replications": r.VM.Replics, "collapses": r.VM.Collapses,
-			"remaps": r.VM.Remaps,
-		},
-		"actions": map[string]uint64{
-			"hot_pages": r.Actions.HotPages, "migrate": r.Actions.Migrations,
-			"replicate": r.Actions.Replicas, "no_action": r.Actions.NoAction,
-			"no_page": r.Actions.NoPage,
-		},
-		"alloc": map[string]any{
-			"peak_base": r.Alloc.PeakBase, "peak_replica": r.Alloc.PeakReplica,
-			"replica_overhead": r.Alloc.ReplicaOverhead(),
-		},
-	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
+	if err := serve.WriteResultJSON(os.Stdout, r); err != nil {
 		fatal(err)
 	}
 }

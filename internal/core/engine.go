@@ -139,6 +139,20 @@ func (s *System) engineRunUntil(deadline sim.Time) {
 	s.eng.RunUntil(deadline)
 }
 
+// setCancel installs (or clears, with nil) the run loop's cooperative
+// cancellation predicate on whichever engine the run uses. The engines poll
+// it on a dispatch-count stride (sim.Engine's cancelMask), so cancellation is
+// checked at engine-step granularity without a per-event branch that could
+// cost on the hot path. Cancellation never changes a completed run's bytes:
+// a run that stops early is discarded by RunContext, never returned.
+func (s *System) setCancel(fn func() bool) {
+	if s.seng != nil {
+		s.seng.SetCancel(fn)
+		return
+	}
+	s.eng.SetCancel(fn)
+}
+
 // engineFired returns the number of events dispatched so far.
 func (s *System) engineFired() uint64 {
 	if s.seng != nil {

@@ -13,17 +13,26 @@ import (
 // directory counters, pager). Called once from NewSystem, after the kernel
 // components exist.
 func (s *System) wireObservability() {
-	if s.opt.CollectEvents || s.opt.Recorder.On() {
-		if s.opt.CollectEvents {
+	if s.opt.CollectEvents || s.opt.Recorder.On() || s.opt.EventSink != nil {
+		switch {
+		case s.opt.CollectEvents:
 			s.events = obs.NewTracer(s.now)
 			// With both asked for, the buffered tracer also mirrors into the
 			// flight recorder's ring.
 			s.events.AttachRecorder(s.opt.Recorder)
-		} else {
+		case s.opt.Recorder.On():
 			// Recorder-only: events flow straight into the bounded ring, no
 			// unbounded buffer, so a flight recorder is cheap enough to leave
 			// on for every harness run.
 			s.events = obs.NewFlightTracer(s.now, s.opt.Recorder)
+		default:
+			// Sink-only: events stream out as they happen, nothing buffered.
+			s.events = obs.NewStreamTracer(s.now, s.opt.EventSink)
+		}
+		// A sink composes with either buffering mode (the stream-only case
+		// installed it at construction).
+		if s.opt.EventSink != nil && (s.opt.CollectEvents || s.opt.Recorder.On()) {
+			s.events.AttachSink(s.opt.EventSink)
 		}
 		s.vmm.Obs = s.events
 		s.counters.Obs = s.events

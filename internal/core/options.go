@@ -155,6 +155,13 @@ type Options struct {
 	// write-only from the simulation's view — so it too is erased from
 	// Fingerprint.
 	Recorder *obs.Recorder
+	// EventSink, when non-nil, receives every typed observability event as
+	// it is emitted — the streaming path (numasimd progress streams write
+	// them as NDJSON while the run executes). Unlike CollectEvents nothing
+	// is buffered, so a sink is safe on arbitrarily long runs. Observation
+	// only: the sink cannot influence the simulation, so it is erased from
+	// Fingerprint like Recorder.
+	EventSink func(obs.Event)
 }
 
 // Fingerprint renders every field of the options into a string that
@@ -175,6 +182,7 @@ func (o Options) Fingerprint() string {
 	o.Workers = 0
 	o.CollectShardStats = false
 	o.Recorder = nil
+	o.EventSink = nil
 	return fmt.Sprintf("%+v", o)
 }
 

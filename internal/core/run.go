@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+	"fmt"
+
 	"ccnuma/internal/cache"
 	"ccnuma/internal/kernel/alloc"
 	"ccnuma/internal/kernel/sched"
@@ -395,6 +398,32 @@ func (s *System) policyName() string {
 	}
 }
 
+// RunContext executes the workload like Run, with cooperative cancellation:
+// when ctx is cancelled or its deadline passes, the engine's run loop stops
+// within one cancellation stride (~1k events, microseconds of wall time) and
+// the partial run is discarded — the returned error wraps ctx.Err(), so
+// errors.Is(err, context.DeadlineExceeded) distinguishes a timeout from a
+// cancel. This is what lets a serving layer abandon a run without leaking a
+// goroutine that burns CPU to the original deadline.
+func (s *System) RunContext(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ctx.Done() != nil {
+		s.setCancel(func() bool { return ctx.Err() != nil })
+		defer s.setCancel(nil)
+	}
+	res, err := s.Run()
+	if err != nil {
+		return nil, err
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, fmt.Errorf("core: run cancelled after %d events: %w",
+			res.Events, cerr)
+	}
+	return res, nil
+}
+
 // Run is the package-level convenience: build a system and run it.
 func Run(spec *workload.Spec, opt Options) (*Result, error) {
 	sys, err := NewSystem(spec, opt)
@@ -402,4 +431,14 @@ func Run(spec *workload.Spec, opt Options) (*Result, error) {
 		return nil, err
 	}
 	return sys.Run()
+}
+
+// RunContext is the package-level convenience: build a system and run it
+// under ctx's cancellation and deadline.
+func RunContext(ctx context.Context, spec *workload.Spec, opt Options) (*Result, error) {
+	sys, err := NewSystem(spec, opt)
+	if err != nil {
+		return nil, err
+	}
+	return sys.RunContext(ctx)
 }

@@ -23,46 +23,48 @@ import (
 // Config selects which faults to inject. It is a pure value type (no
 // functions, no pointers) so core.Options.Fingerprint covers every field and
 // memoized runs with different fault settings never collide. The zero value
-// disables everything.
+// disables everything. The JSON tags are the wire shape numasimd requests
+// use to carry a fault config (deterministic chaos as a service); omitempty
+// keeps a fault-free request's body free of fault noise.
 type Config struct {
 	// Seed seeds the injector's private RNG stream; 0 derives one from the
 	// run seed.
-	Seed uint64
+	Seed uint64 `json:"seed,omitempty"`
 
 	// DrainNode's memory is taken offline at DrainAt: new allocations on the
 	// node fail, AllocAnywhere skips it, and every replica resident there is
 	// evicted. A drain happens only when DrainAt > 0.
-	DrainNode int
-	DrainAt   sim.Time
+	DrainNode int      `json:"drain_node,omitempty"`
+	DrainAt   sim.Time `json:"drain_at,omitempty"`
 
 	// DropBatch is the probability a hot-page interrupt batch is lost before
 	// reaching the pager (the pages stay hot and re-trigger later).
-	DropBatch float64
+	DropBatch float64 `json:"drop_batch,omitempty"`
 	// DelayBatch is the probability a batch is delayed by DelayBy instead of
 	// being delivered immediately (0 DelayBy uses a 200us default).
-	DelayBatch float64
-	DelayBy    sim.Time
+	DelayBatch float64  `json:"delay_batch,omitempty"`
+	DelayBy    sim.Time `json:"delay_by,omitempty"`
 
 	// AllocFail is the probability one allocation attempt fails transiently,
 	// inside the window [AllocFailFrom, AllocFailUntil); a zero AllocFailUntil
 	// extends the window to the end of the run.
-	AllocFail      float64
-	AllocFailFrom  sim.Time
-	AllocFailUntil sim.Time
+	AllocFail      float64  `json:"alloc_fail,omitempty"`
+	AllocFailFrom  sim.Time `json:"alloc_fail_from,omitempty"`
+	AllocFailUntil sim.Time `json:"alloc_fail_until,omitempty"`
 
 	// SlowFactor > 1 multiplies the latency of remote misses to or from
 	// SlowNode (a degraded interconnect link).
-	SlowNode   int
-	SlowFactor float64
+	SlowNode   int     `json:"slow_node,omitempty"`
+	SlowFactor float64 `json:"slow_factor,omitempty"`
 
 	// DeferFailedOps enables the pager's graceful-degradation response:
 	// migrations/replications that fail allocation enter a bounded deferral
 	// queue and retry with exponential backoff instead of being dropped.
-	DeferFailedOps bool
+	DeferFailedOps bool `json:"defer_failed_ops,omitempty"`
 	// OverheadBudget, when positive, throttles pager work: hot-page batches
 	// arriving while the pager's share of CPU time exceeds this fraction are
 	// shed cheaply (the paper's kernel-overhead concern).
-	OverheadBudget float64
+	OverheadBudget float64 `json:"overhead_budget,omitempty"`
 }
 
 // Enabled reports whether any fault or degradation response is configured.

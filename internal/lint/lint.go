@@ -81,6 +81,7 @@ func DefaultConfig() Config {
 			"ccnuma/internal/core",
 			"ccnuma/internal/obs",
 			"ccnuma/internal/report",
+			"ccnuma/internal/serve",
 		},
 		FaultScope: []string{"ccnuma/internal/fault"},
 		Guarded: []GuardedEmitter{

@@ -160,6 +160,11 @@ type Tracer struct {
 	// a recorder-only tracer holds bounded memory no matter how long the run.
 	rec      *Recorder
 	noBuffer bool
+
+	// sink, when set, receives every emitted event as it happens — the
+	// streaming path (core.Options.EventSink → serve's NDJSON progress
+	// stream). Called synchronously from the emitting goroutine.
+	sink func(Event)
 }
 
 // NewTracer builds an enabled tracer. clock may be nil when every emitter
@@ -187,6 +192,25 @@ func (t *Tracer) AttachRecorder(r *Recorder) {
 	t.rec = r
 }
 
+// NewStreamTracer builds a tracer that forwards every event to sink without
+// buffering: the streaming consumer sees events live and the run holds no
+// unbounded event memory. sink must be non-nil.
+func NewStreamTracer(clock func() sim.Time, sink func(Event)) *Tracer {
+	if sink == nil {
+		panic("obs: stream tracer needs a sink")
+	}
+	return &Tracer{Clock: clock, sink: sink, noBuffer: true}
+}
+
+// AttachSink forwards every subsequent emission to fn (in addition to the
+// buffer and recorder, when present). No-op on a nil tracer or nil fn.
+func (t *Tracer) AttachSink(fn func(Event)) {
+	if t == nil || fn == nil {
+		return
+	}
+	t.sink = fn
+}
+
 // On reports whether the tracer is collecting. Safe on nil.
 func (t *Tracer) On() bool { return t != nil }
 
@@ -197,6 +221,9 @@ func (t *Tracer) Emit(e Event) {
 	}
 	if t.rec != nil {
 		t.rec.Record(e)
+	}
+	if t.sink != nil {
+		t.sink(e)
 	}
 	if !t.noBuffer {
 		t.events = append(t.events, e)
@@ -213,6 +240,9 @@ func (t *Tracer) EmitNow(e Event) {
 	}
 	if t.rec != nil {
 		t.rec.Record(e)
+	}
+	if t.sink != nil {
+		t.sink(e)
 	}
 	if !t.noBuffer {
 		t.events = append(t.events, e)

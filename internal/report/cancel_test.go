@@ -1,0 +1,162 @@
+package report
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"ccnuma/internal/core"
+	"ccnuma/internal/sim"
+	"ccnuma/internal/workload"
+)
+
+// waitForGoroutines polls until the process goroutine count drops back to at
+// most base, failing the test if it never does — the leak detector for the
+// harness's child run goroutines.
+func waitForGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("simulation goroutine leaked: %d goroutines, started with %d", n, base)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestHarnessTimeoutStopsSimulation is the regression test for the
+// fire-and-abandon RunTimeout: a simulation that would run for a long time is
+// timed out after 30ms, and its goroutine must actually exit (the old design
+// abandoned it to burn CPU to the virtual deadline). Observed via the process
+// goroutine count settling back to its pre-run level.
+func TestHarnessTimeoutStopsSimulation(t *testing.T) {
+	h := NewHarness(0.2, 1)
+	h.KeepGoing = true
+	h.RunTimeout = 30 * time.Millisecond
+
+	base := runtime.NumGoroutine()
+	// 10 virtual seconds of the engineering workload takes far longer than
+	// 30ms of wall clock to simulate, so the deadline always fires mid-run.
+	res := h.Run("engineering", core.Options{Duration: 10 * sim.Second})
+	if !res.Failed {
+		t.Fatal("timed-out run did not return the failure placeholder")
+	}
+	waitForGoroutines(t, base)
+
+	failures := h.Failures()
+	if len(failures) != 1 || !failures[0].TimedOut {
+		t.Fatalf("failures = %+v, want one timed-out record", failures)
+	}
+	if !strings.Contains(failures[0].Error, "deadline exceeded") {
+		t.Fatalf("failure error does not name the deadline: %q", failures[0].Error)
+	}
+}
+
+// TestHarnessRunContextCancel: cancelling the caller's context mid-run stops
+// the simulation, skips the retry chain, and leaves no goroutine behind.
+func TestHarnessRunContextCancel(t *testing.T) {
+	h := NewHarness(0.2, 1)
+	h.KeepGoing = true
+	h.Retries = 3 // must NOT be consumed: a cancelled caller never retries
+
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	h.PreRun = func(string, core.Options) { close(started) }
+	go func() {
+		<-started
+		cancel()
+	}()
+
+	base := runtime.NumGoroutine()
+	res := h.RunContext(ctx, "engineering", core.Options{Duration: 10 * sim.Second})
+	if !res.Failed {
+		t.Fatal("cancelled run did not return the failure placeholder")
+	}
+	waitForGoroutines(t, base)
+
+	failures := h.Failures()
+	if len(failures) != 1 {
+		t.Fatalf("failures = %d, want 1", len(failures))
+	}
+	if failures[0].TimedOut {
+		t.Fatal("a cancel was misreported as a timeout")
+	}
+	if failures[0].Attempts != 1 {
+		t.Fatalf("cancelled run consumed retries: %d attempts", failures[0].Attempts)
+	}
+}
+
+// TestExecuteSuccess: the memo-free entry point returns a normal result and
+// accumulates no per-request state on the harness.
+func TestExecuteSuccess(t *testing.T) {
+	h := NewHarness(0.05, 1)
+	build := func() *workload.Spec {
+		b, err := workload.ByName("engineering")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b(0.05, 1)
+	}
+	res, fail, err := h.Execute(context.Background(), "engineering",
+		build, core.Options{Seed: 1, Duration: 5 * sim.Millisecond})
+	if err != nil || fail != nil {
+		t.Fatalf("Execute failed: %v / %+v", err, fail)
+	}
+	if res == nil || res.Elapsed <= 0 {
+		t.Fatalf("Execute produced no measurements: %+v", res)
+	}
+	if len(h.Failures()) != 0 || len(h.Metrics()) != 0 {
+		t.Fatal("Execute grew the harness's accumulating state")
+	}
+	// Identical options must produce a fresh simulation (caching is the
+	// caller's policy), so two Executes both count as executed.
+	if _, _, err := h.Execute(context.Background(), "engineering",
+		build, core.Options{Seed: 1, Duration: 5 * sim.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if executed, _ := h.Counters(); executed != 2 {
+		t.Fatalf("executed = %d, want 2 (Execute never memoizes)", executed)
+	}
+}
+
+// TestExecuteFailureManifest: a panicking run comes back as a RunFailure with
+// the flight-recorder dump attached, returned to the caller instead of
+// appended to the harness (a server's Harness lives forever).
+func TestExecuteFailureManifest(t *testing.T) {
+	h := NewHarness(0.05, 1)
+	h.RecorderDepth = 32
+	h.PreRun = func(string, core.Options) { panic("injected server-side failure") }
+	build := func() *workload.Spec {
+		b, _ := workload.ByName("engineering")
+		return b(0.05, 1)
+	}
+	res, fail, err := h.Execute(context.Background(), "what-if-17",
+		build, core.Options{Seed: 9, Dynamic: true, Duration: 5 * sim.Millisecond})
+	if err == nil || fail == nil || res != nil {
+		t.Fatalf("Execute did not fail: res=%v fail=%v err=%v", res, fail, err)
+	}
+	if fail.Workload != "what-if-17" || !strings.Contains(fail.Error, "injected server-side failure") {
+		t.Fatalf("failure manifest = %+v", fail)
+	}
+	if fail.Fingerprint == "" || !strings.Contains(fail.Fingerprint, "Dynamic:true") {
+		t.Fatalf("fingerprint does not identify the options: %q", fail.Fingerprint)
+	}
+	if len(h.Failures()) != 0 {
+		t.Fatal("Execute appended to the harness failure list")
+	}
+	// Cancelled contexts surface as errors.Is-checkable causes.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	h.PreRun = nil
+	_, fail2, err2 := h.Execute(ctx, "what-if-18", build, core.Options{Seed: 9})
+	if !errors.Is(err2, context.Canceled) || fail2 == nil {
+		t.Fatalf("pre-cancelled Execute: err=%v fail=%+v", err2, fail2)
+	}
+}

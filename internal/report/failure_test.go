@@ -88,8 +88,11 @@ func TestHarnessRetriesTransientFailure(t *testing.T) {
 	}
 }
 
-// A run exceeding RunTimeout fails with TimedOut set; its goroutine is
-// abandoned rather than joined.
+// A run exceeding RunTimeout fails with TimedOut set. The child goroutine is
+// joined — the deadline propagates into the engine loop, so it exits
+// cooperatively (here the delay sits in the PreRun hook, so the join waits
+// out the hook; TestHarnessTimeoutStopsSimulation covers a genuinely long
+// simulation).
 func TestHarnessRunTimeout(t *testing.T) {
 	h := NewHarness(0.05, 1)
 	h.KeepGoing = true

@@ -7,6 +7,8 @@
 package report
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -50,8 +52,11 @@ type Harness struct {
 	// per attempt (default 100 ms).
 	RetryBackoff time.Duration
 	// RunTimeout, when positive, bounds each attempt's wall-clock time; a
-	// run that exceeds it fails (its goroutine is abandoned — the simulator
-	// has no preemption points — so timeouts should be generous).
+	// run that exceeds it fails with a context.DeadlineExceeded error. The
+	// deadline propagates into the engine's run loop (cooperative
+	// cancellation polled every ~1k dispatched events), so a timed-out
+	// simulation actually stops within microseconds instead of being
+	// abandoned to burn CPU to its virtual deadline.
 	RunTimeout time.Duration
 	// Shards is forwarded to every run's core.Options.Shards: the number of
 	// per-node event lanes inside each simulation. Purely an execution knob —
@@ -224,6 +229,15 @@ func runKey(wl string, opt core.Options) string {
 // concurrent caller with the same key blocks until that single run
 // finishes and shares its Result.
 func (h *Harness) Run(wl string, opt core.Options) *core.Result {
+	return h.RunContext(context.Background(), wl, opt)
+}
+
+// RunContext is Run under a caller-supplied context: cancellation or a
+// deadline propagates into the simulation's engine loop, so an abandoned
+// query stops simulating instead of running to its virtual deadline. A
+// cancelled owner still releases memo waiters (with the failure placeholder
+// under KeepGoing); the failed key is evicted, so a later caller re-runs it.
+func (h *Harness) RunContext(ctx context.Context, wl string, opt core.Options) *core.Result {
 	opt.Seed = h.Seed
 	opt.Shards = h.Shards
 	opt.Workers = h.EpochWorkers
@@ -265,7 +279,8 @@ func (h *Harness) Run(wl string, opt core.Options) *core.Result {
 			Start: enter, End: h.sinceStart()})
 	}
 	t0 := wallNow()
-	res, rec, attempts, timedOut, err := h.attempt(wl, id, slot, opt)
+	res, rec, attempts, timedOut, err := h.attempt(ctx, wl, id, slot,
+		func() *workload.Spec { return h.spec(wl) }, opt)
 	if err != nil {
 		dump, dropped := rec.Dump()
 		h.mu.Lock()
@@ -316,8 +331,10 @@ func (h *Harness) Run(wl string, opt core.Options) *core.Result {
 
 // attempt drives one run through up to 1+Retries attempts with doubling
 // wall-clock backoff, returning the last attempt's outcome (including its
-// flight recorder, for the failure dump). id and slot label the spans.
-func (h *Harness) attempt(wl, id string, slot int, opt core.Options) (res *core.Result, rec *obs.Recorder, attempts int, timedOut bool, err error) {
+// flight recorder, for the failure dump). id and slot label the spans. A
+// cancelled caller context short-circuits the retry chain: retrying work
+// nobody is waiting for would only burn CPU.
+func (h *Harness) attempt(ctx context.Context, wl, id string, slot int, build func() *workload.Spec, opt core.Options) (res *core.Result, rec *obs.Recorder, attempts int, timedOut bool, err error) {
 	backoff := h.RetryBackoff
 	if backoff <= 0 {
 		backoff = 100 * time.Millisecond
@@ -327,7 +344,7 @@ func (h *Harness) attempt(wl, id string, slot int, opt core.Options) (res *core.
 		if h.CollectSpans {
 			a0 = h.sinceStart()
 		}
-		res, rec, timedOut, err = h.runOnce(wl, opt)
+		res, rec, timedOut, err = h.runOnce(ctx, wl, build, opt)
 		if h.CollectSpans {
 			state := SpanRunning
 			switch {
@@ -339,7 +356,7 @@ func (h *Harness) attempt(wl, id string, slot int, opt core.Options) (res *core.
 			h.addSpan(Span{Workload: wl, ID: id, State: state, Attempt: attempts,
 				Slot: slot, Start: a0, End: h.sinceStart()})
 		}
-		if err == nil || attempts > h.Retries {
+		if err == nil || attempts > h.Retries || ctx.Err() != nil {
 			return res, rec, attempts, timedOut, err
 		}
 		h.logf("retry %s attempt=%d backoff=%v err=%v", wl, attempts, backoff, err)
@@ -347,7 +364,14 @@ func (h *Harness) attempt(wl, id string, slot int, opt core.Options) (res *core.
 		if h.CollectSpans {
 			r0 = h.sinceStart()
 		}
-		time.Sleep(backoff)
+		timer := time.NewTimer(backoff)
+		//numalint:allow determinism retry backoff races the caller's cancellation by design; both arms lead to a failure path, never into results
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return res, rec, attempts, timedOut, err
+		}
 		if h.CollectSpans {
 			h.addSpan(Span{Workload: wl, ID: id, State: SpanRetry, Attempt: attempts,
 				Slot: slot, Start: r0, End: h.sinceStart()})
@@ -356,8 +380,7 @@ func (h *Harness) attempt(wl, id string, slot int, opt core.Options) (res *core.
 	}
 }
 
-// runOutcome carries one attempt's result out of its goroutine; the buffered
-// channel lets an abandoned (timed-out) goroutine finish its send and exit.
+// runOutcome carries one attempt's result out of its goroutine.
 type runOutcome struct {
 	res *core.Result
 	err error
@@ -367,13 +390,24 @@ type runOutcome struct {
 // the workload or kernel layers becomes an error on this worker instead of
 // tearing the process (and every other concurrent run) down. Each attempt
 // gets its own flight recorder (when RecorderDepth is set) so a retry's dump
-// never mixes attempts; the recorder is returned even on timeout — its ring
-// is mutex-guarded, so dumping while the abandoned goroutine still simulates
-// is safe.
-func (h *Harness) runOnce(wl string, opt core.Options) (res *core.Result, rec *obs.Recorder, timedOut bool, err error) {
+// never mixes attempts.
+//
+// The attempt runs under ctx plus the harness's RunTimeout. Cancellation is
+// cooperative: core.RunContext installs an engine-loop check polled every
+// ~1k events, so the child goroutine is always joined here — a timed-out run
+// stops simulating within microseconds instead of being abandoned to burn
+// CPU (the pre-context design leaked exactly that goroutine). timedOut
+// reports a deadline expiry, whether from RunTimeout or a deadline already
+// on ctx.
+func (h *Harness) runOnce(ctx context.Context, wl string, build func() *workload.Spec, opt core.Options) (res *core.Result, rec *obs.Recorder, timedOut bool, err error) {
 	if h.RecorderDepth > 0 {
 		rec = obs.NewRecorder(h.RecorderDepth)
 		opt.Recorder = rec
+	}
+	if h.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, h.RunTimeout)
+		defer cancel()
 	}
 	ch := make(chan runOutcome, 1)
 	go func() {
@@ -385,22 +419,49 @@ func (h *Harness) runOnce(wl string, opt core.Options) (res *core.Result, rec *o
 		if h.PreRun != nil {
 			h.PreRun(wl, opt)
 		}
-		r, e := core.Run(h.spec(wl), opt)
+		r, e := core.RunContext(ctx, build(), opt)
 		ch <- runOutcome{res: r, err: e}
 	}()
-	if h.RunTimeout <= 0 {
-		out := <-ch
-		return out.res, rec, false, out.err
+	out := <-ch
+	return out.res, rec, errors.Is(out.err, context.DeadlineExceeded), out.err
+}
+
+// Execute runs one simulation through the harness's hardening — panic
+// isolation in a child goroutine, the retry chain with backoff, the
+// per-attempt flight recorder, RunTimeout and ctx cancellation propagated
+// into the engine loop — without touching the memo or the harness's
+// accumulating state (metrics, failures, spans). A long-running server keeps
+// one Harness for the life of the process, so Execute must not grow anything
+// per request: the failure manifest is returned to the caller instead of
+// appended, and caching is the caller's policy (internal/serve keys a
+// bounded LRU on the options fingerprint).
+//
+// Unlike Run, opt is used verbatim: requests carry their own Seed, Shards,
+// and Workers. build is called once per attempt for a fresh spec (specs hold
+// generator state).
+func (h *Harness) Execute(ctx context.Context, label string, build func() *workload.Spec, opt core.Options) (*core.Result, *RunFailure, error) {
+	id := fmt.Sprintf("%016x", keyID(label+"|"+opt.Fingerprint()))
+	h.executed.Add(1)
+	h.logf("start %s id=%s", label, id)
+	t0 := wallNow()
+	res, rec, attempts, timedOut, err := h.attempt(ctx, label, id, -1, build, opt)
+	if err != nil {
+		dump, dropped := rec.Dump()
+		h.logf("fail  %s id=%s attempts=%d err=%v", label, id, attempts, err)
+		return nil, &RunFailure{
+			Workload:      label,
+			ID:            id,
+			Fingerprint:   opt.Fingerprint(),
+			Error:         err.Error(),
+			Attempts:      attempts,
+			TimedOut:      timedOut,
+			Events:        dump,
+			EventsDropped: dropped,
+		}, err
 	}
-	timer := time.NewTimer(h.RunTimeout)
-	defer timer.Stop()
-	//numalint:allow determinism the run-timeout race is inherently wall-clock; results stay deterministic because timeouts are failures
-	select {
-	case out := <-ch:
-		return out.res, rec, false, out.err
-	case <-timer.C:
-		return nil, rec, true, fmt.Errorf("timed out after %v (simulation goroutine abandoned)", h.RunTimeout)
-	}
+	h.logf("done  %s id=%s policy=%s simulated=%v wall=%v",
+		label, id, res.Policy, res.Elapsed, wallSince(t0).Round(time.Millisecond))
+	return res, nil, nil
 }
 
 // FT runs the first-touch baseline for a workload.

@@ -1,0 +1,39 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// BenchmarkServeCachedHit measures the warm path: request parsing, admission,
+// and a content-addressed cache hit — what an interactive frontend pays for a
+// repeated what-if. No simulation runs after the first iteration.
+func BenchmarkServeCachedHit(b *testing.B) {
+	s := New(Config{Workers: 2})
+	defer s.Shutdown()
+	if rec := post(s, smallBody); rec.Code != http.StatusOK {
+		b.Fatalf("warmup: %d", rec.Code)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rec := post(s, smallBody); rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}
+
+// BenchmarkServeUncached measures the cold path: a full small simulation per
+// request (distinct seeds defeat the cache), i.e. the marginal cost of a
+// novel what-if end to end through admission, harness, and rendering.
+func BenchmarkServeUncached(b *testing.B) {
+	s := New(Config{Workers: 2, CacheEntries: -1})
+	defer s.Shutdown()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body := fmt.Sprintf(`{"workload":"engineering","scale":0.05,"duration_ns":4000000,"seed":%d}`, i+1)
+		if rec := post(s, body); rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+}

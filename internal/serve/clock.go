@@ -1,0 +1,22 @@
+package serve
+
+import "time"
+
+// The server's wall-clock reads all funnel through these helpers, mirroring
+// internal/report's clock.go. A server legitimately needs wall time — request
+// latency logging, drain deadlines — but wall time is exactly what the
+// numalint determinism check keeps out of result bytes. Concentrating the
+// reads here keeps the `//numalint:allow determinism` directives in one
+// audited place and makes any new `time.Now` elsewhere in the package a lint
+// finding. Response bodies never depend on these values: a deadline expiry
+// is a failure body, never a different result.
+
+// wallNow reads the wall clock (monotonic per the time package's guarantee).
+func wallNow() time.Time {
+	return time.Now() //numalint:allow determinism the server's single audited wall-clock read; never feeds response bodies
+}
+
+// wallSince returns the wall time elapsed since t.
+func wallSince(t time.Time) time.Duration {
+	return time.Since(t) //numalint:allow determinism the server's single audited wall-clock read; never feeds response bodies
+}

@@ -1,0 +1,497 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ccnuma/internal/core"
+)
+
+// smallBody is a fast request: engineering at 5% scale for 5ms of simulated
+// time completes in well under a second of wall clock.
+const smallBody = `{"workload":"engineering","scale":0.05,"duration_ns":5000000}`
+
+func post(s *Server, body string) *httptest.ResponseRecorder {
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/run", strings.NewReader(body))
+	s.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+func get(s *Server, path string) *httptest.ResponseRecorder {
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	s.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+// waitUntil polls cond, failing the test if it never holds.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// directRun renders what the CLI would print for the same request — the
+// byte-identity oracle.
+func directRun(t *testing.T, body string) []byte {
+	t.Helper()
+	var req Request
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		t.Fatal(err)
+	}
+	job, err := req.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(job.Spec(), job.Opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ResultJSON(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestRunByteIdentity: a served response carries exactly the bytes
+// `numasim -json` would print, concurrent identical requests all get them
+// (single-flight: one simulation), and a later identical request is a cache
+// hit.
+func TestRunByteIdentity(t *testing.T) {
+	s := New(Config{Workers: 4})
+	defer s.Shutdown()
+	want := directRun(t, smallBody)
+
+	const n = 4
+	recs := make([]*httptest.ResponseRecorder, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			recs[i] = post(s, smallBody)
+		}(i)
+	}
+	wg.Wait()
+	for i, rec := range recs {
+		if rec.Code != http.StatusOK {
+			t.Fatalf("request %d: status %d body %s", i, rec.Code, rec.Body.String())
+		}
+		if !bytes.Equal(rec.Body.Bytes(), want) {
+			t.Fatalf("request %d: body differs from the CLI rendering:\n%s\nwant:\n%s", i, rec.Body.String(), want)
+		}
+	}
+	if executed, _ := s.harness.Counters(); executed != 1 {
+		t.Fatalf("executed = %d simulations for %d identical requests, want 1 (single-flight)", executed, n)
+	}
+
+	rec := post(s, smallBody)
+	if rec.Code != http.StatusOK || !bytes.Equal(rec.Body.Bytes(), want) {
+		t.Fatalf("post-warm request: status %d", rec.Code)
+	}
+	if st := s.cache.stats(); st.Hits == 0 {
+		t.Fatalf("cache stats after a warm request: %+v, want a hit", st)
+	}
+}
+
+// TestBadRequests: malformed input is answered 400 before any capacity is
+// spent, and never occupies a queue slot.
+func TestBadRequests(t *testing.T) {
+	s := New(Config{})
+	defer s.Shutdown()
+	cases := []struct {
+		name, body string
+	}{
+		{"unknown field", `{"workload":"engineering","bogus":1}`},
+		{"unknown workload", `{"workload":"no-such-thing"}`},
+		{"unknown policy", `{"workload":"engineering","policy":"wat"}`},
+		{"unknown config", `{"workload":"engineering","config":"wat"}`},
+		{"unknown metric", `{"workload":"engineering","metric":"wat"}`},
+		{"missing workload", `{}`},
+		{"negative scale", `{"workload":"engineering","scale":-1}`},
+		{"bad fault config", `{"workload":"engineering","faults":{"drop_batch":2}}`},
+		{"not json", `hello`},
+	}
+	for _, c := range cases {
+		rec := post(s, c.body)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (body %s)", c.name, rec.Code, rec.Body.String())
+		}
+		var eb errorBody
+		if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil || eb.Error == "" {
+			t.Errorf("%s: error body unparseable: %s", c.name, rec.Body.String())
+		}
+	}
+	if rec := get(s, "/run"); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /run: status %d, want 405", rec.Code)
+	}
+	if hw := s.AdmittedHighWater(); hw != 0 {
+		t.Errorf("bad requests consumed queue slots: high water %d", hw)
+	}
+}
+
+// TestBackpressureQueueBound hammers a Workers=1, QueueDepth=2 server with
+// 100 concurrent distinct requests while the one worker is wedged. Exactly
+// capacity (3) requests may hold slots; the remaining 97 must be shed
+// immediately with 429 + Retry-After — the bounded-admission invariant.
+func TestBackpressureQueueBound(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 2})
+	gate := make(chan struct{})
+	s.harness.PreRun = func(string, core.Options) { <-gate }
+
+	const hammer = 100
+	capacity := int64(s.cfg.Workers + s.cfg.QueueDepth)
+	var ok, shed, other atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < hammer; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct seeds: distinct cache keys, so single-flight cannot
+			// collapse the load away.
+			body := fmt.Sprintf(`{"workload":"engineering","scale":0.05,"duration_ns":5000000,"seed":%d}`, i+1)
+			rec := post(s, body)
+			switch rec.Code {
+			case http.StatusOK:
+				ok.Add(1)
+			case http.StatusTooManyRequests:
+				if rec.Header().Get("Retry-After") == "" {
+					t.Error("429 without Retry-After")
+				}
+				shed.Add(1)
+			default:
+				other.Add(1)
+				t.Errorf("unexpected status %d: %s", rec.Code, rec.Body.String())
+			}
+		}(i)
+	}
+	// All shed responses return before the gate opens; the admitted ones are
+	// parked. Then release the worker and let the admitted trio finish.
+	waitUntil(t, "queue to fill and shedding to finish", func() bool {
+		return s.admitted.Load() == capacity && shed.Load() == hammer-capacity
+	})
+	if rec := get(s, "/readyz"); rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("readyz with a full queue: status %d, want 503", rec.Code)
+	}
+	close(gate)
+	wg.Wait()
+
+	if ok.Load() != capacity || shed.Load() != hammer-capacity || other.Load() != 0 {
+		t.Fatalf("ok=%d shed=%d other=%d, want %d/%d/0", ok.Load(), shed.Load(), other.Load(), capacity, hammer-capacity)
+	}
+	if hw := s.AdmittedHighWater(); hw != capacity {
+		t.Fatalf("admitted high water %d, want exactly the declared capacity %d", hw, capacity)
+	}
+	if !s.Shutdown() {
+		t.Fatal("drain of an idle server was not clean")
+	}
+}
+
+// TestGracefulShutdownDrain: a drain sheds the queued request with 503,
+// refuses new work with 503, lets the in-flight run finish with a
+// byte-identical response, and reports a clean drain. Run under -race this
+// also checks the admission/drain locking.
+func TestGracefulShutdownDrain(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 2})
+	gate := make(chan struct{})
+	s.harness.PreRun = func(string, core.Options) { <-gate }
+	want := directRun(t, smallBody)
+
+	// A: admitted and running (wedged at the gate).
+	var recA *httptest.ResponseRecorder
+	doneA := make(chan struct{})
+	go func() {
+		defer close(doneA)
+		recA = post(s, smallBody)
+	}()
+	waitUntil(t, "A to start running", func() bool { return s.running.Load() == 1 })
+
+	// B: admitted and queued behind A (distinct key so it needs its own run).
+	var recB *httptest.ResponseRecorder
+	doneB := make(chan struct{})
+	go func() {
+		defer close(doneB)
+		recB = post(s, `{"workload":"engineering","scale":0.05,"duration_ns":5000000,"seed":7}`)
+	}()
+	waitUntil(t, "B to queue", func() bool { return s.admitted.Load() == 2 })
+
+	clean := make(chan bool, 1)
+	go func() { clean <- s.Shutdown() }()
+	waitUntil(t, "drain to begin", func() bool { return s.Draining() })
+
+	// B was queued, not running: the drain sheds it with 503.
+	<-doneB
+	if recB.Code != http.StatusServiceUnavailable {
+		t.Fatalf("queued request during drain: status %d body %s", recB.Code, recB.Body.String())
+	}
+	// C arrives after the drain began: refused at the door.
+	if rec := post(s, smallBody); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("new request during drain: status %d", rec.Code)
+	}
+	if rec := get(s, "/readyz"); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during drain: status %d, want 503", rec.Code)
+	}
+
+	// Release the worker: A must complete normally, byte-identical.
+	close(gate)
+	<-doneA
+	if recA.Code != http.StatusOK {
+		t.Fatalf("in-flight request killed by drain: status %d body %s", recA.Code, recA.Body.String())
+	}
+	if !bytes.Equal(recA.Body.Bytes(), want) {
+		t.Fatalf("drained run's body differs from the CLI rendering:\n%s", recA.Body.String())
+	}
+	if !<-clean {
+		t.Fatal("drain reported unclean despite completing within the deadline")
+	}
+	// Post-drain the server stays stopped.
+	if rec := post(s, smallBody); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain request: status %d, want 503", rec.Code)
+	}
+}
+
+// TestDrainDeadlineCancelsStragglers: a run that outlives DrainTimeout is
+// cancelled cooperatively — the drain completes (unclean) instead of hanging,
+// and the straggler gets a well-formed 503, not a dead connection.
+func TestDrainDeadlineCancelsStragglers(t *testing.T) {
+	s := New(Config{Workers: 1, DrainTimeout: 50 * time.Millisecond})
+	// A long simulation: 10 virtual seconds takes far longer than the drain
+	// deadline to simulate, so only the cooperative cancel can end it.
+	var rec *httptest.ResponseRecorder
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rec = post(s, `{"workload":"engineering","scale":0.2,"duration_ns":10000000000}`)
+	}()
+	waitUntil(t, "straggler to start running", func() bool { return s.running.Load() == 1 })
+
+	if s.Shutdown() {
+		t.Fatal("drain reported clean despite cancelling a straggler")
+	}
+	<-done
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("cancelled straggler: status %d body %s", rec.Code, rec.Body.String())
+	}
+	var eb errorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil || eb.Error == "" {
+		t.Fatalf("straggler error body unparseable: %s", rec.Body.String())
+	}
+}
+
+// TestRequestDeadline: a request whose simulation outlives RequestTimeout is
+// answered 504 with the failure manifest (TimedOut, options fingerprint, and
+// the flight recorder's trailing events) — a diagnosable response, never a
+// hung connection.
+func TestRequestDeadline(t *testing.T) {
+	s := New(Config{RequestTimeout: 50 * time.Millisecond, RecorderDepth: 32})
+	defer s.Shutdown()
+	// Low trigger: the run emits policy events from the start, so the flight
+	// recorder has something to dump when the deadline cuts it short.
+	rec := post(s, `{"workload":"engineering","scale":0.2,"duration_ns":10000000000,"trigger":16}`)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d body %s, want 504", rec.Code, rec.Body.String())
+	}
+	var eb errorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil {
+		t.Fatalf("error body unparseable: %s", rec.Body.String())
+	}
+	if eb.Failure == nil || !eb.Failure.TimedOut {
+		t.Fatalf("failure manifest missing or not timed out: %+v", eb.Failure)
+	}
+	if !strings.Contains(eb.Failure.Fingerprint, "Duration:10.000s") {
+		t.Fatalf("fingerprint does not identify the run: %q", eb.Failure.Fingerprint)
+	}
+	if len(eb.Failure.Events) == 0 {
+		t.Fatal("flight recorder dump empty: a timed-out run should carry its last events")
+	}
+}
+
+// TestChaosPaths: deterministic fault injection rides along a request (same
+// seed, same faults, same bytes), and a run that dies outright still answers
+// with a structured 500 carrying the failure manifest.
+func TestChaosPaths(t *testing.T) {
+	s := New(Config{})
+	defer s.Shutdown()
+	chaos := `{"workload":"engineering","scale":0.05,"duration_ns":5000000,` +
+		`"faults":{"drain_node":1,"drain_at":1000000,"drop_batch":0.5,"defer_failed_ops":true}}`
+	want := directRun(t, chaos)
+	rec := post(s, chaos)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("chaos request: status %d body %s", rec.Code, rec.Body.String())
+	}
+	if !bytes.Equal(rec.Body.Bytes(), want) {
+		t.Fatalf("chaos run not deterministic across server and CLI:\n%s\nwant:\n%s", rec.Body.String(), want)
+	}
+
+	s.harness.PreRun = func(string, core.Options) { panic("injected chaos") }
+	rec = post(s, `{"workload":"engineering","scale":0.05,"duration_ns":5000000,"seed":3}`)
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking run: status %d, want 500", rec.Code)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil {
+		t.Fatalf("500 body unparseable: %s", rec.Body.String())
+	}
+	if eb.Failure == nil || !strings.Contains(eb.Failure.Error, "injected chaos") {
+		t.Fatalf("failure manifest = %+v", eb.Failure)
+	}
+	// Failures are never cached: the same request succeeds once the panic
+	// hook is gone.
+	s.harness.PreRun = nil
+	if rec := post(s, `{"workload":"engineering","scale":0.05,"duration_ns":5000000,"seed":3}`); rec.Code != http.StatusOK {
+		t.Fatalf("failure was cached: status %d body %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestStreamRun: a streamed request answers NDJSON — obs events as they
+// happen, then one final result line — and a streamed failure ends with an
+// error line, never a silent hangup.
+func TestStreamRun(t *testing.T) {
+	s := New(Config{})
+	defer s.Shutdown()
+	// Low trigger so the tiny run actually emits policy events to stream.
+	rec := post(s, `{"workload":"engineering","scale":0.05,"duration_ns":5000000,"trigger":16,"stream":true}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stream: status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content type %q", ct)
+	}
+	lines := strings.Split(strings.TrimRight(rec.Body.String(), "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("stream produced %d lines, want events plus a result", len(lines))
+	}
+	for i, l := range lines {
+		if !json.Valid([]byte(l)) {
+			t.Fatalf("stream line %d is not JSON: %q", i, l)
+		}
+	}
+	var final struct {
+		Result map[string]any `json:"result"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &final); err != nil || final.Result == nil {
+		t.Fatalf("final stream line is not a result: %q", lines[len(lines)-1])
+	}
+	if final.Result["workload"] != "engineering" {
+		t.Fatalf("streamed result = %v", final.Result)
+	}
+
+	s.harness.PreRun = func(string, core.Options) { panic("stream chaos") }
+	rec = post(s, `{"workload":"engineering","scale":0.05,"duration_ns":5000000,"seed":5,"stream":true}`)
+	lines = strings.Split(strings.TrimRight(rec.Body.String(), "\n"), "\n")
+	last := lines[len(lines)-1]
+	var eb errorBody
+	if err := json.Unmarshal([]byte(last), &eb); err != nil || !strings.Contains(eb.Error, "stream chaos") {
+		t.Fatalf("streamed failure's final line = %q", last)
+	}
+}
+
+// TestHealthz: the gauges reflect reality and the endpoint always answers.
+func TestHealthz(t *testing.T) {
+	s := New(Config{Workers: 3, QueueDepth: 5})
+	defer s.Shutdown()
+	if rec := post(s, smallBody); rec.Code != http.StatusOK {
+		t.Fatalf("warmup: %d", rec.Code)
+	}
+	rec := get(s, "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz: %d", rec.Code)
+	}
+	var h health
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.State != "accepting" || h.Capacity != 8 || h.Workers != 3 || h.Served != 1 {
+		t.Fatalf("healthz = %+v", h)
+	}
+	if rec := get(s, "/readyz"); rec.Code != http.StatusOK {
+		t.Fatalf("readyz while accepting: %d", rec.Code)
+	}
+	s.Shutdown()
+	rec = get(s, "/healthz")
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil || h.State != "draining" {
+		t.Fatalf("healthz after drain = %+v (err %v)", h, err)
+	}
+}
+
+// TestCacheLRU exercises the bounded cache directly: eviction order, the
+// single-flight path, and a follower abandoning its wait on its own deadline.
+func TestCacheLRU(t *testing.T) {
+	c := newCache(2)
+	c.put("a", []byte("A"))
+	c.put("b", []byte("B"))
+	if _, ok := c.get("a"); !ok { // a is now most recently used
+		t.Fatal("a missing")
+	}
+	c.put("c", []byte("C")) // evicts b, the LRU
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a evicted out of LRU order")
+	}
+	if st := c.stats(); st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// Single-flight: a slow owner, one patient follower, one impatient one.
+	gate := make(chan struct{})
+	var fills atomic.Int64
+	fill := func() ([]byte, error) {
+		fills.Add(1)
+		<-gate
+		return []byte("X"), nil
+	}
+	ownerDone := make(chan struct{})
+	go func() {
+		defer close(ownerDone)
+		if b, err := c.do(context.Background(), "x", fill); err != nil || string(b) != "X" {
+			t.Errorf("owner: %s %v", b, err)
+		}
+	}()
+	waitUntil(t, "owner to start filling", func() bool { return fills.Load() == 1 })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.do(ctx, "x", fill); err != context.Canceled {
+		t.Fatalf("impatient follower: err %v, want its own cancellation", err)
+	}
+	followerDone := make(chan struct{})
+	go func() {
+		defer close(followerDone)
+		if b, err := c.do(context.Background(), "x", fill); err != nil || string(b) != "X" {
+			t.Errorf("follower: %s %v", b, err)
+		}
+	}()
+	close(gate)
+	<-ownerDone
+	<-followerDone
+	if fills.Load() != 1 {
+		t.Fatalf("fills = %d, want 1 (single-flight)", fills.Load())
+	}
+
+	// A failed fill is not cached and unblocks followers into a retry.
+	boom := func() ([]byte, error) { return nil, fmt.Errorf("boom") }
+	if _, err := c.do(context.Background(), "y", boom); err == nil {
+		t.Fatal("failed fill reported success")
+	}
+	if b, err := c.do(context.Background(), "y", func() ([]byte, error) { return []byte("Y"), nil }); err != nil || string(b) != "Y" {
+		t.Fatalf("post-failure fill: %s %v", b, err)
+	}
+}

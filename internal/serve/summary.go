@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+
+	"ccnuma/internal/core"
+)
+
+// Summary flattens a result into the machine-readable shape `numasim -json`
+// prints (per-CPU breakdowns omitted; use the library for full detail). The
+// CLI and the server both render through WriteResultJSON below, so a served
+// response is byte-identical to the CLI's output for the same options — the
+// serve-smoke check diffs the two.
+func Summary(r *core.Result) map[string]any {
+	_, local, remote := r.Agg.MemStall()
+	return map[string]any{
+		"workload":            r.Workload,
+		"policy":              r.Policy,
+		"elapsed_ns":          int64(r.Elapsed),
+		"nonidle_ns":          int64(r.Agg.NonIdle()),
+		"idle_ns":             int64(r.Agg.Idle),
+		"stall_local_ns":      int64(local),
+		"stall_remote_ns":     int64(remote),
+		"pager_overhead_ns":   int64(r.Agg.Pager.Total()),
+		"local_miss_fraction": r.LocalMissFraction,
+		"avg_remote_ns":       int64(r.AvgRemoteLatency),
+		"sched_migrations":    r.SchedMigrations,
+		"steps":               r.Steps,
+		"vm": map[string]uint64{
+			"faults": r.VM.Faults, "migrations": r.VM.Migrates,
+			"replications": r.VM.Replics, "collapses": r.VM.Collapses,
+			"remaps": r.VM.Remaps,
+		},
+		"actions": map[string]uint64{
+			"hot_pages": r.Actions.HotPages, "migrate": r.Actions.Migrations,
+			"replicate": r.Actions.Replicas, "no_action": r.Actions.NoAction,
+			"no_page": r.Actions.NoPage,
+		},
+		"alloc": map[string]any{
+			"peak_base": r.Alloc.PeakBase, "peak_replica": r.Alloc.PeakReplica,
+			"replica_overhead": r.Alloc.ReplicaOverhead(),
+		},
+	}
+}
+
+// WriteResultJSON renders the summary as indented JSON plus a trailing
+// newline — exactly the bytes `numasim -json` emits.
+func WriteResultJSON(w io.Writer, r *core.Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Summary(r))
+}
+
+// ResultJSON returns the rendered bytes (what the cache stores: results are
+// cached post-render so a hit is a single write, no re-encoding).
+func ResultJSON(r *core.Result) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := WriteResultJSON(&buf, r); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

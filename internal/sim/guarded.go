@@ -96,6 +96,16 @@ func (s *Sharded) runGuarded(workers int, deadline Time) {
 		if !ok || base > deadline {
 			break
 		}
+		// Poll cancellation once per cancelMask+1 dispatches. Window folds
+		// jump fired by whole windows, so the exact-equality stride check
+		// used by the serial loops could step over its boundary; tracking
+		// the fired count at the last poll keeps the stride guarantee.
+		if s.cancel != nil && s.fired-s.lastPoll > cancelMask {
+			s.lastPoll = s.fired
+			if s.cancel() {
+				break
+			}
+		}
 		// Fast path: when the globally next event can never run inside a
 		// window (a busy CPU step, a pager batch, a periodic), dispatch it
 		// serially without paying for window assembly.

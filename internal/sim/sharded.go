@@ -98,6 +98,16 @@ type Sharded struct {
 	// cross-lane schedules can be attributed to their source lane.
 	stats     *ShardStats
 	statsLane int32
+
+	// cancel mirrors Engine.cancel: a predicate the run loops poll every
+	// cancelMask+1 dispatches (and at every epoch barrier) to stop a run
+	// cooperatively. Only ever called from the drive goroutine, never from
+	// lane workers, so the predicate needs no synchronization of its own.
+	// lastPoll records fired at the previous poll so guarded mode — where
+	// window folds jump fired by whole windows and can step over the exact
+	// stride boundary — still polls at least once per cancelMask+1 events.
+	cancel   func() bool
+	lastPoll uint64
 }
 
 // LaneHandler is a typed event callback for the sharded engine. It receives
@@ -171,6 +181,18 @@ func (s *Sharded) Lookahead() Time { return s.lookahead }
 
 // Now returns the current virtual time of the serialized merge.
 func (s *Sharded) Now() Time { return s.now }
+
+// SetCancel installs a cancellation predicate polled by the run loops
+// (RunUntil on a dispatch-count stride, RunEpochs at every barrier). A true
+// return stops dispatching; the caller discards the partial run. Pass nil to
+// clear.
+func (s *Sharded) SetCancel(fn func() bool) { s.cancel = fn }
+
+// cancelled reports whether the cancellation predicate asks the run loop to
+// stop, polled on the same dispatch stride as Engine.cancelled.
+func (s *Sharded) cancelled() bool {
+	return s.cancel != nil && s.fired&cancelMask == 0 && s.cancel()
+}
 
 // Fired returns the number of events dispatched so far.
 func (s *Sharded) Fired() uint64 { return s.fired }
@@ -331,6 +353,9 @@ func (s *Sharded) RunUntil(deadline Time) {
 		if !ok || at > deadline {
 			break
 		}
+		if s.cancelled() {
+			return
+		}
 		s.Step()
 	}
 	if s.now < deadline {
@@ -404,6 +429,12 @@ func (s *Sharded) RunEpochs(workers int, deadline Time) {
 	for {
 		base, ok := s.minHead()
 		if !ok || base > deadline {
+			break
+		}
+		// Poll cancellation once per epoch: fired jumps by whole windows in
+		// this mode, so the stride check could miss its exact boundary; an
+		// unconditional poll per barrier is amortized over the epoch's events.
+		if s.cancel != nil && s.cancel() {
 			break
 		}
 		end := base + s.lookahead
