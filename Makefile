@@ -2,9 +2,9 @@ GO ?= go
 
 # Tier-1 verification plus formatting, the race detector, and benchmark
 # smoke runs. `make ci` is what a CI job should run.
-.PHONY: ci fmt-check vet lint build test race fault-smoke bench-smoke \
-	obs-bench-smoke obs-shard-smoke epoch-smoke serve-smoke serve-bench \
-	bench bench-json bench-json-smoke
+.PHONY: ci fmt-check vet lint lint-confinement build test race fault-smoke \
+	bench-smoke obs-bench-smoke obs-shard-smoke epoch-smoke serve-smoke \
+	serve-bench bench bench-json bench-json-smoke
 
 ci: fmt-check vet lint build race fault-smoke bench-smoke obs-bench-smoke obs-shard-smoke epoch-smoke serve-smoke bench-json-smoke
 
@@ -17,10 +17,33 @@ vet:
 	$(GO) vet ./...
 
 # numalint: the domain-specific checks go vet cannot know about —
-# determinism, hot-path allocation-freedom, tracer guarding, fault purity.
-# Exits non-zero on any finding; see internal/lint and README.
+# determinism, hot-path allocation-freedom, tracer guarding, fault purity,
+# and the whole-program lane-confinement proof. Exits non-zero on any
+# finding; see internal/lint and README. The elapsed time is printed so a
+# `make ci` log records what the whole-program analysis costs.
 lint:
-	$(GO) run ./cmd/numalint ./...
+	@t0=$$(date +%s); \
+	$(GO) run ./cmd/numalint ./... && \
+	$(MAKE) --no-print-directory lint-confinement; \
+	rc=$$?; t1=$$(date +%s); \
+	echo "lint: $$((t1-t0))s"; exit $$rc
+
+# lint-confinement: regenerate the machine-readable confinement report and
+# diff it against the checked-in golden, so any change to what is proven
+# lane-confined shows up in review. UPDATE=1 rewrites the golden (same
+# contract as `go test ./internal/lint -update`).
+lint-confinement:
+	@tmp=$$(mktemp); trap 'rm -f "$$tmp"' EXIT; \
+	$(GO) run ./cmd/numalint -confinement-json ./... >"$$tmp" || exit 1; \
+	if [ -n "$(UPDATE)" ]; then \
+		cp "$$tmp" internal/lint/testdata/confinement.golden.json; \
+		echo "lint-confinement: golden updated"; \
+	else \
+		diff -u internal/lint/testdata/confinement.golden.json "$$tmp" || \
+			{ echo "lint-confinement: confinement report drifted from the golden;"; \
+			  echo "  audit the diff and run: make lint-confinement UPDATE=1"; exit 1; }; \
+		echo "lint-confinement: report matches golden"; \
+	fi
 
 build:
 	$(GO) build ./...

@@ -131,6 +131,7 @@ func (v *Validity) Assign(p mem.GPage, node mem.NodeID) {
 // never-resident page were never written, so they read as version zero.
 //
 //numalint:hotpath
+//numalint:lane-confined
 func (v *Validity) LineVersion(l mem.GLine) uint32 {
 	p := l.Page()
 	h := v.home[p]
@@ -147,6 +148,7 @@ func (v *Validity) LineVersion(l mem.GLine) uint32 {
 // and panics rather than silently minting stamps nobody owns.
 //
 //numalint:hotpath
+//numalint:lane-confined
 func (v *Validity) BumpLine(l mem.GLine) uint32 {
 	p := l.Page()
 	h := v.home[p]
@@ -170,6 +172,7 @@ func unhomedWrite(l mem.GLine) {
 // page has never been resident).
 //
 //numalint:hotpath
+//numalint:lane-confined
 func (v *Validity) PageEpoch(p mem.GPage) uint32 {
 	h := v.home[p]
 	if h < 0 {
@@ -182,6 +185,8 @@ func (v *Validity) PageEpoch(p mem.GPage) uint32 {
 // invalidating all cached lines of the page machine-wide. Releasing a page
 // that was never resident has nothing cached to invalidate, so an unhomed
 // bump is a no-op.
+//
+//numalint:lane-confined
 func (v *Validity) BumpPage(p mem.GPage) {
 	if h := v.home[p]; h >= 0 {
 		v.shards[h].pageEpoch[v.slot[p]]++

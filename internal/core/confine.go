@@ -170,3 +170,22 @@ func (s *System) wakeTarget(arg uint64) (cpu mem.CPUID, live bool) {
 func (s *System) laneForCPU(cpu mem.CPUID) int {
 	return int(s.cfg.NodeOf(cpu)) % s.seng.Lanes()
 }
+
+// ConfinedEntryPoints returns the canonical names (as numalint's confinement
+// report spells them) of the handler tails this planner's admissible set
+// relies on being lane-confined. The split of the proof is deliberate:
+// admission above decides *which* events may run in a window from dynamic
+// heap state (IdleOn, slot generations, lane routing), while the static
+// analyzer proves the *code* those admitted events then execute never
+// touches machine-global engine state. An admitted idle tick runs
+// (*System).idleStep; an admitted live wake runs (*System).wakeProc.
+//
+// TestPlannerAdmissibleSetIsProven pins each of these names to a proven,
+// non-stale entry in the whole-module confinement report, so widening the
+// admissible set without extending the static proof fails the build.
+func ConfinedEntryPoints() []string {
+	return []string{
+		"ccnuma/internal/core.(*System).idleStep",
+		"ccnuma/internal/core.(*System).wakeProc",
+	}
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"ccnuma/internal/lint"
+)
+
+// TestPlannerAdmissibleSetIsProven is the bridge between the dynamic and the
+// static halves of the guarded-window proof: every handler tail the planner's
+// admissible set relies on (ConfinedEntryPoints) must appear in numalint's
+// whole-module confinement report as a proven, non-stale lane-confined entry.
+// If someone widens the admissible set — or a refactor makes one of the tails
+// reach machine-global state — this test fails before any race does.
+func TestPlannerAdmissibleSetIsProven(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	l, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load(filepath.Join(l.ModRoot, "..."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := &lint.Suite{Cfg: lint.DefaultConfig()}
+	diags, rep := suite.RunReport(pkgs, l.ModRoot)
+	for _, d := range diags {
+		t.Errorf("real tree: %s", d)
+	}
+	if rep == nil {
+		t.Fatal("confinement report not produced (laneconfined disabled?)")
+	}
+	byName := make(map[string]lint.ConfinementEntry, len(rep.Entries))
+	for _, e := range rep.Entries {
+		byName[e.Name] = e
+	}
+	for _, want := range ConfinedEntryPoints() {
+		e, ok := byName[want]
+		if !ok {
+			t.Errorf("admissible entry %s has no lane-confined annotation (not in confinement report)", want)
+			continue
+		}
+		if !e.Proven {
+			t.Errorf("admissible entry %s is not proven: %d violations, %d escapes", want, e.Violations, e.Escapes)
+		}
+		if e.Stale {
+			t.Errorf("admissible entry %s is stale: no guarded-window dispatch root reaches it", want)
+		}
+	}
+}

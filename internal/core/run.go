@@ -35,6 +35,8 @@ const cyclesPerStep = 4
 func (s *System) schedule(c *cpuState, at sim.Time) {
 	if s.opt.ClosureEvents {
 		//numalint:allow hotpath closure reference path gated by Options.ClosureEvents
+		//numalint:allow laneconfined closure events are never guardable (clampGuard serializes them), so this branch cannot run inside a window
+		//numalint:allow laneescape closure events are never guardable, so nothing reached from here runs inside a window
 		s.schedAt(at, func(now sim.Time) { s.step(c, now) })
 		return
 	}
@@ -42,7 +44,24 @@ func (s *System) schedule(c *cpuState, at sim.Time) {
 		c.lane.AtKind(at, s.stepKind, uint64(c.id))
 		return
 	}
+	//numalint:allow laneconfined a window-executed step always carries its lane (registerKinds sets c.lane before dispatch); the engine-level fallback is serial-only
 	s.schedAtKind(at, s.stepKind, uint64(c.id))
+}
+
+// idleStep is the idle scheduler tick's tail: nothing is runnable on this
+// CPU, so charge one idle tick and re-arm the step chain. It is one of the
+// two events the confinement planner admits into guarded windows (the other
+// is the same-lane wake, wakeProc) — the planner proves the head of step
+// trivial at plan time via Scheduler.IdleOn, and the analyzer proves this
+// tail reaches no machine-global state; ConfinedEntryPoints names both and
+// TestPlannerAdmissibleSetIsProven keeps the two proofs from drifting.
+//
+//numalint:hotpath
+//numalint:lane-confined
+func (s *System) idleStep(c *cpuState, t sim.Time) {
+	c.idle = true
+	c.bd.Idle += idleTick
+	s.schedule(c, t+idleTick)
 }
 
 // step is one CPU's event: pending shootdown charges, queued pager work,
@@ -81,9 +100,7 @@ func (s *System) step(c *cpuState, now sim.Time) {
 	if c.cur == nil {
 		next := s.schedul.Next(c.id)
 		if next == nil {
-			c.idle = true
-			c.bd.Idle += idleTick
-			s.schedule(c, t+idleTick)
+			s.idleStep(c, t)
 			return
 		}
 		c.idle = false

@@ -286,8 +286,13 @@ func traceCapacity(d sim.Time, cfg topology.Config) int {
 
 // wakeProc is the typed wake-after-block event: make the process runnable
 // again if the same process still occupies the slot and is still alive.
+// Wake events are lane-routed to the node owning the target ready queue, so
+// the confinement planner can admit a same-lane wake into a guarded window;
+// the lane-confined annotation has the analyzer prove the delivery (slot
+// check plus scheduler enqueue) touches no machine-global state.
 //
 //numalint:hotpath
+//numalint:lane-confined
 func (s *System) wakeProc(id mem.ProcID, gen uint32) {
 	if int(id) >= len(s.procs) {
 		return

@@ -32,6 +32,8 @@ type phaseMsg struct {
 // prepareCopy is phase one, executed at the destination node: charge the
 // page-copy cost for filling m.frame. It never touches master metadata, so
 // it is safe on the destination's lane.
+//
+//numalint:lane-confined
 func (pg *Pager) prepareCopy(m phaseMsg, t sim.Time, bd *stats.Breakdown) sim.Time {
 	op := &pg.ops[m.opIdx]
 	cc := pg.cfg.CopyCost()
@@ -48,6 +50,13 @@ func (pg *Pager) prepareCopy(m phaseMsg, t sim.Time, bd *stats.Breakdown) sim.Ti
 // changed between decision and commit (e.g. a collapse raced in) rejects the
 // commit; the prepared frame is returned to its node's allocator and the
 // phase reports ok=false.
+//
+// commitCopy is deliberately NOT annotated lane-confined yet: the analyzer
+// proves it would reach the machine-global engine clock through
+// vm.Migrate's observability emit (EmitNow → Tracer.Clock → Sharded.Now),
+// so batching commits onto their owning lanes (the ROADMAP follow-on) first
+// needs the tracer to grow a lane-safe clock. Re-adding the annotation is
+// how that work will know it is done.
 func (pg *Pager) commitCopy(m phaseMsg, t sim.Time, bd *stats.Breakdown) (sim.Time, bool) {
 	op := &pg.ops[m.opIdx]
 	k := pg.cfg.Kernel

@@ -119,6 +119,8 @@ func (s *Partition) rehome(p *Proc, cpu mem.CPUID) {
 }
 
 // MakeRunnable queues the process on its job's home CPU.
+//
+//numalint:lane-confined
 func (s *Partition) MakeRunnable(p *Proc) { s.push(s.home[p], p) }
 
 // Next consults only the local queue: partitions do not steal across job

@@ -143,7 +143,11 @@ func NewAffinity(cpus int) *Affinity {
 func (s *Affinity) Add(p *Proc) { s.push(p.LastCPU, p) }
 
 // MakeRunnable re-queues a blocked process on its last CPU; idle CPUs pull
-// it over via stealing if the home stays busy.
+// it over via stealing if the home stays busy. The epoch planner only admits
+// a wake whose target queue's lane is the dispatching lane, so the enqueue
+// runs inside guarded windows and must stay lane-confined.
+//
+//numalint:lane-confined
 func (s *Affinity) MakeRunnable(p *Proc) { s.push(p.LastCPU, p) }
 
 // Next runs the local queue first, then steals from the longest queue.
@@ -259,6 +263,8 @@ func (s *Pinned) Add(p *Proc) {
 }
 
 // MakeRunnable re-queues on the pin.
+//
+//numalint:lane-confined
 func (s *Pinned) MakeRunnable(p *Proc) { s.push(p.Pin, p) }
 
 // Next only consults the local queue.

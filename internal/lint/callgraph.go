@@ -1,0 +1,444 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// This file builds the whole-program view the confinement analysis walks: one
+// node per function (declarations and function literals) across every
+// analyzed package, with call edges for
+//
+//   - static calls and concrete method calls (resolved through go/types),
+//   - interface dispatch, conservatively over-approximated as an edge to the
+//     matching method of every named type in the program that implements the
+//     interface,
+//   - calls through function values (fields, variables, parameters, map or
+//     slice elements), over-approximated as an edge to every function whose
+//     value is taken somewhere in the program and whose signature matches,
+//   - a creation edge from a function to each literal it encloses, because a
+//     closure built inside a lane-confined function can run wherever the
+//     value flows.
+//
+// The over-approximations make reachability sound for the machine-global
+// state this repository annotates: if the analysis proves an entry point
+// clean, no call path from it — however dispatched — touches that state.
+// The cost is precision; an audited //numalint:allow on a call line cuts the
+// edge where a human argument (recorded as the mandatory reason) replaces
+// the automatic proof.
+
+// edgeKind classifies how a call edge was resolved.
+type edgeKind int
+
+const (
+	edgeDirect   edgeKind = iota // static call or concrete method call
+	edgeIface                    // interface dispatch (targets: all implementations)
+	edgeIndirect                 // call through a function value (targets: by signature)
+	edgeClosure                  // creation edge: function encloses the literal
+)
+
+// callEdge is one (possibly multi-target) call out of a function.
+type callEdge struct {
+	kind    edgeKind
+	pos     token.Pos     // position of the call (or literal) for reporting and cuts
+	call    *ast.CallExpr // nil for closure-creation edges
+	targets []*funcNode   // resolved callees inside the program
+
+	// resolution inputs, consumed by resolve():
+	iface *types.Interface // edgeIface: the dispatched interface
+	mname string           // edgeIface: method name
+	mpkg  *types.Package   // edgeIface: package for unexported-name matching
+	sig   *types.Signature // edgeIndirect: the value's signature
+}
+
+// globalAccess is one read or write of machine-global state inside a
+// function body, either directly or through a tracked local alias.
+type globalAccess struct {
+	pos   token.Pos
+	name  string // identifier text at the access site
+	root  string // the machine-global object's name
+	alias bool   // reached through a local alias rather than the object itself
+}
+
+// laneEscape is a concurrency primitive inside a function body that would
+// bypass the typed mailbox/journal path if executed inside a window.
+type laneEscape struct {
+	pos  token.Pos
+	what string // "go statement" or "channel send"
+}
+
+// funcNode is one function in the program: a declaration or a literal.
+type funcNode struct {
+	idx   int
+	pkg   *Package
+	name  string // canonical: pkg/path.Func, pkg/path.(*Recv).Method, parent$N
+	short string // bare name for rendering chains within the entry's package
+	pos   token.Pos
+	sig   *types.Signature
+	decl  *ast.FuncDecl // nil for literals
+	lit   *ast.FuncLit  // nil for declarations
+
+	confined bool // carries //numalint:lane-confined
+	taken    bool // its value escapes somewhere (indirect-call candidate)
+	litCount int  // literals enclosed so far (names the next one)
+
+	edges    []*callEdge
+	accesses []*globalAccess
+	escapes  []*laneEscape
+}
+
+// body returns the function's body block.
+func (n *funcNode) body() *ast.BlockStmt {
+	if n.decl != nil {
+		return n.decl.Body
+	}
+	return n.lit.Body
+}
+
+// displayIn renders the node's name for a chain anchored in pkg: the bare
+// name inside the same package, the canonical name across packages.
+func (n *funcNode) displayIn(pkg *Package) string {
+	if n.pkg == pkg {
+		return n.short
+	}
+	return n.name
+}
+
+// Program is the whole-module (or whole-corpus) view the confinement
+// analysis runs on.
+type Program struct {
+	pkgs    []*Package
+	nodes   []*funcNode
+	byObj   map[types.Object]*funcNode
+	globals map[types.Object]bool
+}
+
+// buildProgram constructs the call graph over the given packages.
+func buildProgram(pkgs []*Package) *Program {
+	p := &Program{
+		pkgs:    pkgs,
+		byObj:   map[types.Object]*funcNode{},
+		globals: map[types.Object]bool{},
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			collectMachineGlobals(pkg, f, p.globals)
+		}
+	}
+	// Create every declaration node first so direct edges resolve in one
+	// later pass regardless of declaration order.
+	var roots []*funcNode
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &funcNode{
+					idx:      len(p.nodes),
+					pkg:      pkg,
+					name:     canonicalFuncName(pkg.Path, obj),
+					short:    fd.Name.Name,
+					pos:      fd.Name.Pos(),
+					sig:      obj.Type().(*types.Signature),
+					decl:     fd,
+					confined: isLaneConfined(fd),
+				}
+				p.nodes = append(p.nodes, n)
+				p.byObj[obj] = n
+				roots = append(roots, n)
+			}
+		}
+	}
+	for _, n := range roots {
+		p.walkBody(n.pkg, n)
+	}
+	p.resolve()
+	return p
+}
+
+// canonicalFuncName renders the analyzer's stable name for a declared
+// function: pkg/path.Func or pkg/path.(*Recv).Method.
+func canonicalFuncName(pkgPath string, obj *types.Func) string {
+	sig := obj.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		rt := types.TypeString(recv.Type(), func(*types.Package) string { return "" })
+		return pkgPath + ".(" + rt + ")." + obj.Name()
+	}
+	return pkgPath + "." + obj.Name()
+}
+
+// walkBody walks one declared function's body (including nested literals,
+// which become their own nodes), collecting call edges, escapes, and
+// taken-function references.
+func (p *Program) walkBody(pkg *Package, root *funcNode) {
+	litOf := map[*ast.FuncLit]*funcNode{}
+	encl := func(stack []ast.Node) *funcNode {
+		for i := len(stack) - 1; i >= 0; i-- {
+			if fl, ok := stack[i].(*ast.FuncLit); ok {
+				return litOf[fl]
+			}
+		}
+		return root
+	}
+	inspectStack(root.decl.Body, func(n ast.Node, stack []ast.Node) bool {
+		owner := encl(stack)
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			owner.litCount++
+			suffix := "$" + strconv.Itoa(owner.litCount)
+			sig, ok := pkg.Info.Types[n].Type.(*types.Signature)
+			if !ok {
+				return true
+			}
+			ln := &funcNode{
+				idx:   len(p.nodes),
+				pkg:   pkg,
+				name:  owner.name + suffix,
+				short: owner.short + suffix,
+				pos:   n.Pos(),
+				sig:   sig,
+				lit:   n,
+			}
+			p.nodes = append(p.nodes, ln)
+			litOf[n] = ln
+			// The creation edge: the encloser built the closure, so for
+			// confinement purposes it may run it.
+			owner.edges = append(owner.edges, &callEdge{
+				kind: edgeClosure, pos: n.Pos(), targets: []*funcNode{ln},
+			})
+			if !isCallFun(n, stack) {
+				ln.taken = true
+			}
+		case *ast.CallExpr:
+			p.classifyCall(pkg, owner, n)
+		case *ast.GoStmt:
+			owner.escapes = append(owner.escapes, &laneEscape{pos: n.Pos(), what: "go statement"})
+		case *ast.SendStmt:
+			owner.escapes = append(owner.escapes, &laneEscape{pos: n.Arrow, what: "channel send"})
+		case *ast.Ident:
+			fn, ok := pkg.Info.Uses[n].(*types.Func)
+			if !ok {
+				return true
+			}
+			e, st := ast.Expr(n), stack
+			if len(st) > 0 {
+				if sel, ok := st[len(st)-1].(*ast.SelectorExpr); ok && sel.Sel == n {
+					e, st = sel, st[:len(st)-1]
+				}
+			}
+			if !isCallFun(e, st) {
+				if tn := p.byObj[fn]; tn != nil {
+					tn.taken = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isCallFun reports whether expression e (with the given ancestor stack) is
+// the called operand of a call expression, seeing through parentheses.
+func isCallFun(e ast.Expr, stack []ast.Node) bool {
+	top := ast.Node(e)
+	i := len(stack) - 1
+	for ; i >= 0; i-- {
+		pe, ok := stack[i].(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		top = pe
+	}
+	if i < 0 {
+		return false
+	}
+	call, ok := stack[i].(*ast.CallExpr)
+	return ok && call.Fun == top
+}
+
+// classifyCall records the call edge (if any) for one call expression.
+func (p *Program) classifyCall(pkg *Package, owner *funcNode, call *ast.CallExpr) {
+	fun := ast.Unparen(call.Fun)
+	if tv, ok := pkg.Info.Types[fun]; ok && tv.IsType() {
+		return // conversion, not a call
+	}
+	switch f := fun.(type) {
+	case *ast.Ident:
+		switch obj := pkg.Info.Uses[f].(type) {
+		case *types.Func:
+			p.addDirect(owner, call, obj)
+		case *types.Builtin, *types.TypeName, nil:
+			// builtin, conversion, or unresolved: no edge
+		default:
+			p.addIndirect(pkg, owner, call)
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[f]; ok {
+			switch sel.Kind() {
+			case types.MethodVal, types.MethodExpr:
+				m := sel.Obj().(*types.Func)
+				if recv := m.Type().(*types.Signature).Recv(); recv != nil && types.IsInterface(recv.Type()) {
+					owner.edges = append(owner.edges, &callEdge{
+						kind: edgeIface, pos: call.Pos(), call: call,
+						iface: recv.Type().Underlying().(*types.Interface),
+						mname: m.Name(), mpkg: m.Pkg(),
+					})
+				} else {
+					p.addDirect(owner, call, m)
+				}
+			case types.FieldVal:
+				p.addIndirect(pkg, owner, call)
+			}
+			return
+		}
+		// Qualified identifier: pkg.F or a conversion through a named type.
+		switch obj := pkg.Info.Uses[f.Sel].(type) {
+		case *types.Func:
+			p.addDirect(owner, call, obj)
+		case *types.Builtin, *types.TypeName, nil:
+		default:
+			p.addIndirect(pkg, owner, call)
+		}
+	case *ast.FuncLit:
+		// The literal's creation edge (added when its node is built) already
+		// connects the encloser; an immediately-called literal needs nothing
+		// more.
+	default:
+		// Index expressions (handler tables), call-of-call results, and
+		// anything else of function type: indirect.
+		p.addIndirect(pkg, owner, call)
+	}
+}
+
+// addDirect records a static call to a declared function, if it is part of
+// the program (calls into the standard library carry no confinement risk:
+// the machine-global annotations all live in analyzed packages).
+func (p *Program) addDirect(owner *funcNode, call *ast.CallExpr, obj *types.Func) {
+	if tn := p.byObj[obj]; tn != nil {
+		owner.edges = append(owner.edges, &callEdge{
+			kind: edgeDirect, pos: call.Pos(), call: call, targets: []*funcNode{tn},
+		})
+	}
+}
+
+// addIndirect records a call through a function value; targets are resolved
+// by signature in resolve().
+func (p *Program) addIndirect(pkg *Package, owner *funcNode, call *ast.CallExpr) {
+	tv, ok := pkg.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	owner.edges = append(owner.edges, &callEdge{
+		kind: edgeIndirect, pos: call.Pos(), call: call, sig: sig,
+	})
+}
+
+// resolve fills in the conservative target sets for interface and
+// function-value edges.
+func (p *Program) resolve() {
+	// Every package-level named concrete type is an interface-dispatch
+	// candidate; scope.Names() is sorted, so candidate order (and therefore
+	// edge target order) is deterministic.
+	var named []*types.Named
+	for _, pkg := range p.pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			nt, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(nt) {
+				continue
+			}
+			named = append(named, nt)
+		}
+	}
+	var taken []*funcNode
+	for _, n := range p.nodes {
+		if n.taken {
+			taken = append(taken, n)
+		}
+	}
+	for _, n := range p.nodes {
+		for _, e := range n.edges {
+			switch e.kind {
+			case edgeIface:
+				for _, nt := range named {
+					pt := types.NewPointer(nt)
+					if !types.Implements(nt, e.iface) && !types.Implements(pt, e.iface) {
+						continue
+					}
+					obj, _, _ := types.LookupFieldOrMethod(pt, true, e.mpkg, e.mname)
+					m, ok := obj.(*types.Func)
+					if !ok {
+						continue
+					}
+					if tn := p.byObj[m]; tn != nil {
+						e.targets = append(e.targets, tn)
+					}
+				}
+			case edgeIndirect:
+				for _, tn := range taken {
+					if indirectMatches(tn, e.sig) {
+						e.targets = append(e.targets, tn)
+					}
+				}
+			}
+		}
+	}
+}
+
+// indirectMatches reports whether a taken function could be the value behind
+// an indirect call of the given signature: an exact parameter/result match,
+// or — for methods — the method-expression form with the receiver as the
+// leading parameter.
+func indirectMatches(n *funcNode, sig *types.Signature) bool {
+	if sigShapeEqual(n.sig, sig) {
+		return true
+	}
+	return n.sig.Recv() != nil && methodExprMatches(n.sig, sig)
+}
+
+func sigShapeEqual(a, b *types.Signature) bool {
+	return a.Variadic() == b.Variadic() &&
+		tupleEqual(a.Params(), b.Params()) && tupleEqual(a.Results(), b.Results())
+}
+
+func tupleEqual(a, b *types.Tuple) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := 0; i < a.Len(); i++ {
+		if !types.Identical(a.At(i).Type(), b.At(i).Type()) {
+			return false
+		}
+	}
+	return true
+}
+
+func methodExprMatches(m, sig *types.Signature) bool {
+	if m.Variadic() != sig.Variadic() || sig.Params().Len() != m.Params().Len()+1 {
+		return false
+	}
+	if !types.Identical(sig.Params().At(0).Type(), m.Recv().Type()) {
+		return false
+	}
+	for i := 0; i < m.Params().Len(); i++ {
+		if !types.Identical(sig.Params().At(i+1).Type(), m.Params().At(i).Type()) {
+			return false
+		}
+	}
+	return tupleEqual(m.Results(), sig.Results())
+}

@@ -1,0 +1,449 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// laneconfined is the inter-procedural confinement check: a function
+// annotated //numalint:lane-confined runs concurrently across epoch lanes,
+// so nothing reachable from it — through static calls, concrete or interface
+// method dispatch, function values, or closures it builds — may touch state
+// annotated //numalint:machine-global. Violations report the offending call
+// chain (entry → … → accessor), not just the leaf. A lane-confined
+// annotation on a function unreachable from any guarded-window dispatch root
+// (Config.ConfinementRoots) is reported stale, like an allow directive that
+// suppresses nothing.
+var laneconfined = &Analyzer{
+	Name: "laneconfined",
+	Doc:  "prove //numalint:lane-confined functions reach no //numalint:machine-global state through any call path",
+}
+
+// laneescape flags the two ways state slips across the lane/barrier boundary
+// without the typed mailbox/journal path: a machine-global-derived value
+// passed as an argument into lane-confined code, and a go statement or
+// channel send reachable from a lane-confined entry point.
+var laneescape = &Analyzer{
+	Name: "laneescape",
+	Doc:  "flag machine-global values flowing into lane-confined code and go/send primitives reachable from it",
+}
+
+// ConfinementReport is the machine-readable proof numalint -confinement-json
+// emits: one entry per //numalint:lane-confined function, stating whether
+// the whole-program analysis proved it confined. core's
+// TestPlannerAdmissibleSetIsProven pins the epoch planner's admissible set
+// to the proven subset of this report.
+type ConfinementReport struct {
+	// Schema versions the report layout.
+	Schema int `json:"schema"`
+	// Roots are the configured guarded-window dispatch roots that resolved
+	// in the analyzed program (staleness is judged against these).
+	Roots []string `json:"roots"`
+	// Entries are the annotated functions, sorted by canonical name.
+	Entries []ConfinementEntry `json:"entries"`
+}
+
+// ConfinementEntry is one lane-confined function's verdict.
+type ConfinementEntry struct {
+	// Name is the canonical function name
+	// (pkg/path.Func or pkg/path.(*Recv).Method).
+	Name string `json:"name"`
+	// File (module-root-relative, forward slashes) and Line locate the
+	// declaration.
+	File string `json:"file"`
+	Line int    `json:"line"`
+	// Proven is true when the analysis found no reachable machine-global
+	// access and no reachable escape.
+	Proven bool `json:"proven"`
+	// Stale is true when no configured root reaches the function (only
+	// meaningful when Roots is non-empty).
+	Stale bool `json:"stale"`
+	// Violations and Escapes count the findings attributed to this entry.
+	Violations int `json:"violations"`
+	// Escapes counts go/send primitives reachable from the entry.
+	Escapes int `json:"escapes"`
+	// Cuts counts call edges removed from this entry's traversal by audited
+	// //numalint:allow directives — the human-argued part of the proof.
+	Cuts int `json:"cuts"`
+}
+
+// collectTaintAndAccesses walks one function body (literals excluded — they
+// are their own nodes) in source order, tracking simple local aliases of
+// machine-global objects (s := eng.sched; s.now = t) and recording every
+// direct or alias access. It returns the function's taint set for the
+// argument-flow check.
+func collectTaintAndAccesses(prog *Program, n *funcNode) map[*types.Var]string {
+	pkg := n.pkg
+	taint := map[*types.Var]string{}
+
+	// taintRoot reports the machine-global name an expression derives from,
+	// following selector/index/star/paren chains to an identifier.
+	var taintRoot func(e ast.Expr) (string, bool)
+	taintRoot = func(e ast.Expr) (string, bool) {
+		switch e := e.(type) {
+		case *ast.Ident:
+			if obj := pkg.Info.Uses[e]; obj != nil && prog.globals[obj] {
+				return obj.Name(), true
+			}
+			if v, ok := pkg.Info.Uses[e].(*types.Var); ok {
+				if root, ok := taint[v]; ok {
+					return root, true
+				}
+			}
+			return "", false
+		case *ast.SelectorExpr:
+			if obj := pkg.Info.Uses[e.Sel]; obj != nil && prog.globals[obj] {
+				return obj.Name(), true
+			}
+			return taintRoot(e.X)
+		case *ast.ParenExpr:
+			return taintRoot(e.X)
+		case *ast.StarExpr:
+			return taintRoot(e.X)
+		case *ast.IndexExpr:
+			return taintRoot(e.X)
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				return taintRoot(e.X)
+			}
+		}
+		return "", false
+	}
+
+	lhsIdents := map[*ast.Ident]bool{}
+	ast.Inspect(n.body(), func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.FuncLit:
+			return false // separate node, separate pass
+		case *ast.AssignStmt:
+			if len(node.Lhs) == len(node.Rhs) {
+				for i, lhs := range node.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					v, ok := objOf(pkg, id).(*types.Var)
+					if !ok {
+						continue
+					}
+					lhsIdents[id] = true
+					if root, tainted := taintRoot(node.Rhs[i]); tainted {
+						taint[v] = root
+					} else {
+						delete(taint, v) // reassigned clean: alias broken
+					}
+				}
+			}
+		case *ast.Ident:
+			obj := pkg.Info.Uses[node]
+			if obj == nil {
+				return true
+			}
+			if prog.globals[obj] {
+				n.accesses = append(n.accesses, &globalAccess{
+					pos: node.Pos(), name: node.Name, root: obj.Name(),
+				})
+				return true
+			}
+			if v, ok := obj.(*types.Var); ok && !lhsIdents[node] {
+				if root, ok := taint[v]; ok {
+					n.accesses = append(n.accesses, &globalAccess{
+						pos: node.Pos(), name: node.Name, root: root, alias: true,
+					})
+				}
+			}
+		}
+		return true
+	})
+	return taint
+}
+
+// objOf resolves an identifier through Defs or Uses.
+func objOf(pkg *Package, id *ast.Ident) types.Object {
+	if obj := pkg.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return pkg.Info.Uses[id]
+}
+
+// traversal is one entry point's BFS over the (possibly cut) call graph.
+type traversal struct {
+	order      []*funcNode
+	parentNode map[*funcNode]*funcNode
+	parentEdge map[*funcNode]*callEdge
+	cuts       int
+}
+
+// walkFrom runs a breadth-first traversal from entry. When cuts is non-nil,
+// call edges on lines carrying an audited //numalint:allow for the given
+// check are removed (and the directive counted as used); a nil cuts walks
+// the full graph (the staleness view).
+func walkFrom(entry *funcNode, fset *token.FileSet, check string, cuts *allowTable) *traversal {
+	tr := &traversal{
+		parentNode: map[*funcNode]*funcNode{entry: nil},
+		parentEdge: map[*funcNode]*callEdge{},
+	}
+	queue := []*funcNode{entry}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		tr.order = append(tr.order, n)
+		for _, e := range n.edges {
+			if cuts != nil {
+				pos := fset.Position(e.pos)
+				if cuts.allowsAt(check, pos.Filename, pos.Line) {
+					tr.cuts++
+					continue
+				}
+			}
+			for _, t := range e.targets {
+				if _, seen := tr.parentNode[t]; seen {
+					continue
+				}
+				tr.parentNode[t] = n
+				tr.parentEdge[t] = e
+				queue = append(queue, t)
+			}
+		}
+	}
+	return tr
+}
+
+// chain renders the entry → … → node call chain of a traversal.
+func (tr *traversal) chain(entry, node *funcNode) (string, *callEdge) {
+	var path []*funcNode
+	for n := node; n != nil; n = tr.parentNode[n] {
+		path = append(path, n)
+	}
+	// path is node..entry; reverse it.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	parts := make([]string, len(path))
+	for i, n := range path {
+		parts[i] = n.displayIn(entry.pkg)
+	}
+	var firstHop *callEdge
+	if len(path) > 1 {
+		firstHop = tr.parentEdge[path[1]]
+	}
+	return strings.Join(parts, " → "), firstHop
+}
+
+// analyzeConfinement runs the whole-program laneconfined and laneescape
+// checks and builds the confinement report. modRoot (when non-empty)
+// relativizes report paths.
+func analyzeConfinement(prog *Program, cfg Config, cuts *allowTable, fset *token.FileSet,
+	modRoot string, confinedOn, escapeOn bool) ([]Diagnostic, *ConfinementReport) {
+
+	var diags []Diagnostic
+	report := func(check string, pos token.Pos, format string, args ...any) {
+		p := fset.Position(pos)
+		diags = append(diags, Diagnostic{
+			Check: check, File: p.Filename, Line: p.Line, Col: p.Column,
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	shortPos := func(pos token.Pos) string {
+		p := fset.Position(pos)
+		return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+	}
+	// cut reports whether an access or escape at pos is excused by an
+	// audited allow on its line (or the allow block above it).
+	cut := func(check string, pos token.Pos) bool {
+		p := fset.Position(pos)
+		return cuts.allowsAt(check, p.Filename, p.Line)
+	}
+
+	for _, n := range prog.nodes {
+		n.accesses = nil
+	}
+	taintOf := make(map[*funcNode]map[*types.Var]string, len(prog.nodes))
+	if len(prog.globals) > 0 {
+		for _, n := range prog.nodes {
+			taintOf[n] = collectTaintAndAccesses(prog, n)
+		}
+	}
+
+	// Staleness view: the uncut graph reachable from the configured roots.
+	var roots []string
+	rootReach := map[*funcNode]bool{}
+	byName := map[string]*funcNode{}
+	for _, n := range prog.nodes {
+		byName[n.name] = n
+	}
+	for _, name := range cfg.ConfinementRoots {
+		rn, ok := byName[name]
+		if !ok {
+			continue
+		}
+		roots = append(roots, name)
+		for _, n := range walkFrom(rn, fset, "", nil).order {
+			rootReach[n] = true
+		}
+	}
+	sort.Strings(roots)
+
+	var entries []ConfinementEntry
+	for _, entry := range prog.nodes {
+		if !entry.confined {
+			continue
+		}
+		ent := ConfinementEntry{Name: entry.name, Stale: len(roots) > 0 && !rootReach[entry]}
+		p := fset.Position(entry.pos)
+		file := p.Filename
+		if modRoot != "" {
+			if rel, err := filepath.Rel(modRoot, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = filepath.ToSlash(rel)
+			}
+		}
+		ent.File, ent.Line = file, p.Line
+
+		if confinedOn && ent.Stale {
+			report(laneconfined.Name, entry.pos,
+				"lane-confined directive on %s is stale: no guarded-window dispatch root reaches it (roots: %s)",
+				entry.short, strings.Join(roots, ", "))
+		}
+
+		// Machine-global reachability over the laneconfined-cut graph.
+		tr := walkFrom(entry, fset, laneconfined.Name, cuts)
+		ent.Cuts = tr.cuts
+		for _, n := range tr.order {
+			for _, acc := range n.accesses {
+				if cut(laneconfined.Name, acc.pos) {
+					continue
+				}
+				ent.Violations++
+				if !confinedOn {
+					continue
+				}
+				if n == entry {
+					if acc.alias {
+						report(laneconfined.Name, acc.pos,
+							"%s is lane-confined: %s aliases machine-global %s owned by the serialized merge; route the effect through the lane journal",
+							entry.short, acc.name, acc.root)
+					} else {
+						report(laneconfined.Name, acc.pos,
+							"%s is lane-confined: %s is machine-global state owned by the serialized merge; route the effect through the lane journal",
+							entry.short, acc.name)
+					}
+					continue
+				}
+				chain, firstHop := tr.chain(entry, n)
+				report(laneconfined.Name, firstHop.pos,
+					"%s is lane-confined: call chain %s reaches machine-global %s (%s); route the effect through the lane journal",
+					entry.short, chain, acc.root, shortPos(acc.pos))
+			}
+		}
+
+		// Escape reachability over the laneescape-cut graph.
+		etr := walkFrom(entry, fset, laneescape.Name, cuts)
+		for _, n := range etr.order {
+			for _, esc := range n.escapes {
+				if cut(laneescape.Name, esc.pos) {
+					continue
+				}
+				ent.Escapes++
+				if !escapeOn {
+					continue
+				}
+				if n == entry {
+					report(laneescape.Name, esc.pos,
+						"%s is lane-confined: %s bypasses the typed mailbox/journal path; deliver cross-lane effects as window events",
+						entry.short, esc.what)
+					continue
+				}
+				chain, firstHop := etr.chain(entry, n)
+				report(laneescape.Name, firstHop.pos,
+					"%s is lane-confined: call chain %s reaches a %s (%s) that bypasses the typed mailbox/journal path",
+					entry.short, chain, esc.what, shortPos(esc.pos))
+			}
+		}
+
+		ent.Proven = ent.Violations == 0 && ent.Escapes == 0
+		entries = append(entries, ent)
+	}
+
+	// Argument flow: a machine-global-derived value handed to lane-confined
+	// code crosses the ownership boundary by value. Confined callers are
+	// exempt — their own accesses are already laneconfined findings.
+	if escapeOn && len(prog.globals) > 0 {
+		for _, n := range prog.nodes {
+			if n.confined {
+				continue
+			}
+			taint := taintOf[n]
+			for _, e := range n.edges {
+				if e.call == nil {
+					continue
+				}
+				var confinedTarget *funcNode
+				for _, t := range e.targets {
+					if t.confined {
+						confinedTarget = t
+						break
+					}
+				}
+				if confinedTarget == nil {
+					continue
+				}
+				for i, arg := range e.call.Args {
+					root, derived := argDerivesFromGlobal(prog, n.pkg, taint, arg)
+					if !derived {
+						continue
+					}
+					report(laneescape.Name, arg.Pos(),
+						"argument %d to lane-confined %s derives from machine-global %s; pass lane-owned state or journal the effect",
+						i+1, confinedTarget.short, root)
+				}
+			}
+		}
+	}
+
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	rep := &ConfinementReport{Schema: 1, Roots: roots, Entries: entries}
+	if rep.Roots == nil {
+		rep.Roots = []string{}
+	}
+	if rep.Entries == nil {
+		rep.Entries = []ConfinementEntry{}
+	}
+	return diags, rep
+}
+
+// argDerivesFromGlobal reports whether an argument expression mentions a
+// machine-global object or a tracked alias of one.
+func argDerivesFromGlobal(prog *Program, pkg *Package, taint map[*types.Var]string, arg ast.Expr) (string, bool) {
+	var root string
+	found := false
+	ast.Inspect(arg, func(node ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := node.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pkg.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if prog.globals[obj] {
+			root, found = obj.Name(), true
+			return false
+		}
+		if v, ok := obj.(*types.Var); ok {
+			if r, ok := taint[v]; ok {
+				root, found = r, true
+				return false
+			}
+		}
+		return true
+	})
+	return root, found
+}

@@ -6,19 +6,8 @@ import (
 	"strings"
 )
 
-// laneconfined enforces the guarded-window ownership split at the source
-// level: state annotated //numalint:machine-global (the serialized merge's
-// clock, sequence counter, and dispatch tally) belongs to the barrier, and
-// functions annotated //numalint:lane-confined (the window runner and the
-// lane-local schedule path) run concurrently across lanes, so any read or
-// write of that state from inside them is a data race the Go race detector
-// only catches when a golden workload happens to exercise the interleaving.
-// The check makes the confinement contract fail the build instead.
-var laneconfined = &Analyzer{
-	Name: "laneconfined",
-	Doc:  "forbid //numalint:lane-confined functions from touching //numalint:machine-global state",
-	Run:  runLaneConfined,
-}
+// The laneconfined check itself lives in confine.go (it is whole-program,
+// not per-package); this file holds the directive vocabulary it consumes.
 
 // LaneConfinedDirective marks a function as lane-confined when it appears in
 // the function's doc comment; MachineGlobalDirective marks a variable or
@@ -28,31 +17,12 @@ const (
 	MachineGlobalDirective = "numalint:machine-global"
 )
 
-func runLaneConfined(p *Pass) {
-	globals := map[types.Object]bool{}
-	for _, f := range p.Pkg.Files {
-		collectMachineGlobals(p, f, globals)
-	}
-	if len(globals) == 0 {
-		return
-	}
-	for _, f := range p.Pkg.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || !isLaneConfined(fd) {
-				continue
-			}
-			checkLaneConfinedBody(p, fd, globals)
-		}
-	}
-}
-
 // collectMachineGlobals gathers the type-checker objects of every annotated
 // declaration: struct fields (the directive in the field's doc or trailing
 // comment), var specs, and whole var declarations (the directive on the
 // grouped decl covers every spec in it).
-func collectMachineGlobals(p *Pass, f *ast.File, globals map[types.Object]bool) {
-	defs := p.Pkg.Info.Defs
+func collectMachineGlobals(pkg *Package, f *ast.File, globals map[types.Object]bool) {
+	defs := pkg.Info.Defs
 	addNames := func(names []*ast.Ident) {
 		for _, n := range names {
 			if obj := defs[n]; obj != nil {
@@ -78,25 +48,6 @@ func collectMachineGlobals(p *Pass, f *ast.File, globals map[types.Object]bool) 
 			if hasDirective(n.Doc, MachineGlobalDirective) || hasDirective(n.Comment, MachineGlobalDirective) {
 				addNames(n.Names)
 			}
-		}
-		return true
-	})
-}
-
-// checkLaneConfinedBody flags every identifier in the function body that
-// resolves to a machine-global object. Selector accesses (l.s.now) resolve
-// through the Sel identifier's use, so field reads and writes are caught the
-// same way as plain variables.
-func checkLaneConfinedBody(p *Pass, fd *ast.FuncDecl, globals map[types.Object]bool) {
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		id, ok := n.(*ast.Ident)
-		if !ok {
-			return true
-		}
-		if obj := p.Pkg.Info.Uses[id]; obj != nil && globals[obj] {
-			p.Reportf(id.Pos(),
-				"%s is lane-confined: %s is machine-global state owned by the serialized merge; route the effect through the lane journal",
-				fd.Name.Name, id.Name)
 		}
 		return true
 	})

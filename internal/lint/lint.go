@@ -3,7 +3,7 @@
 // violation can reach the runtime tests that would otherwise be the first to
 // notice.
 //
-// The suite currently carries five checks plus directive hygiene:
+// The suite currently carries six checks plus directive hygiene:
 //
 //   - determinism: inside the deterministic packages (sim, core, obs,
 //     report), flag wall-clock reads (time.Now/time.Since), the global
@@ -26,23 +26,39 @@
 //     private sim.Rand stream — foreign RNGs and wall-clock reads are
 //     errors, because a chaos run must replay exactly from its seed.
 //   - laneconfined: functions annotated //numalint:lane-confined run
-//     concurrently across epoch lanes and must not read or write state
-//     annotated //numalint:machine-global (the serialized merge's clock and
-//     counters), so the confinement contract fails the build instead of
-//     racing at runtime.
+//     concurrently across epoch lanes and must not reach state annotated
+//     //numalint:machine-global (the serialized merge's clock and counters)
+//     through any call path. The check is whole-program: it builds a call
+//     graph over every analyzed package (static calls, concrete and
+//     interface method dispatch, function values, closures), tracks simple
+//     local aliases of machine-global objects, and reports the offending
+//     call chain. An annotation unreachable from the configured dispatch
+//     roots is reported stale.
+//   - laneescape: machine-global-derived values must not flow into
+//     lane-confined code as arguments, and no go statement or channel send
+//     may be reachable from a lane-confined entry point — cross-lane
+//     effects go through the typed mailbox/journal path or not at all.
 //
 // A finding is suppressed by a directive on its line or the line above:
 //
 //	//numalint:allow <check> <reason>
 //
-// The reason is mandatory; a directive naming an unknown check, missing its
-// reason, or suppressing nothing is itself reported (check "directive").
+// Consecutive allow lines form one block that applies to each of those
+// lines and the first following line, so one statement can carry several
+// audited suppressions. In the whole-program checks an allow does more than
+// suppress a report: it cuts the call edge (or access) on its line out of
+// the traversal, replacing the automatic proof with the directive's
+// mandatory human-written reason. The reason is mandatory; a directive
+// naming an unknown check, missing its reason, or suppressing nothing is
+// itself reported (check "directive").
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
+	"io"
 	"sort"
 	"strings"
 )
@@ -56,6 +72,14 @@ type Config struct {
 	DeterminismScope []string
 	// FaultScope lists the import-path prefixes held to fault purity.
 	FaultScope []string
+	// ConfinementRoots names (canonically: pkg/path.Func or
+	// pkg/path.(*Recv).Method) the guarded-window dispatch entry points.
+	// A //numalint:lane-confined annotation on a function unreachable from
+	// every root is reported stale. Roots that do not resolve in the
+	// analyzed program are ignored; when none resolve, staleness is not
+	// checked (a partial package listing proves nothing about
+	// reachability).
+	ConfinementRoots []string
 	// Guarded lists the emitter types whose hot emit methods must sit behind
 	// an On()/nil guard at every call site (tracerguard).
 	Guarded []GuardedEmitter
@@ -83,7 +107,8 @@ func DefaultConfig() Config {
 			"ccnuma/internal/report",
 			"ccnuma/internal/serve",
 		},
-		FaultScope: []string{"ccnuma/internal/fault"},
+		FaultScope:       []string{"ccnuma/internal/fault"},
+		ConfinementRoots: []string{"ccnuma/internal/sim.(*Lane).runGuardedLane"},
 		Guarded: []GuardedEmitter{
 			{Pkg: "ccnuma/internal/obs", Type: "Tracer", Methods: []string{"Emit", "EmitNow"}},
 			{Pkg: "ccnuma/internal/obs", Type: "Recorder", Methods: []string{"Record"}},
@@ -118,7 +143,9 @@ func (d Diagnostic) String() string {
 }
 
 // Analyzer is one check: a name (the flag and directive key), a one-line
-// doc, and the run function.
+// doc, and the run function. Whole-program checks (laneconfined,
+// laneescape) have a nil Run — the suite drives them over the full package
+// set instead of per package.
 type Analyzer struct {
 	Name string
 	Doc  string
@@ -131,7 +158,7 @@ const DirectiveCheck = "directive"
 
 // Analyzers returns the suite's checks in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{determinism, hotpath, tracerguard, faultpurity, laneconfined}
+	return []*Analyzer{determinism, hotpath, tracerguard, faultpurity, laneconfined, laneescape}
 }
 
 // knownCheck reports whether name is a check an allow directive may name.
@@ -182,62 +209,53 @@ func (s *Suite) enabled(name string) bool { return !s.Disabled[name] }
 // Run applies the enabled analyzers to every package, resolves allow
 // directives, and returns the surviving findings sorted by position.
 func (s *Suite) Run(pkgs []*Package) []Diagnostic {
-	var out []Diagnostic
-	for _, pkg := range pkgs {
-		out = append(out, s.runPackage(pkg)...)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if a.File != b.File {
-			return a.File < b.File
-		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
-		}
-		if a.Col != b.Col {
-			return a.Col < b.Col
-		}
-		if a.Check != b.Check {
-			return a.Check < b.Check
-		}
-		return a.Message < b.Message
-	})
-	return out
+	diags, _ := s.RunReport(pkgs, "")
+	return diags
 }
 
-func (s *Suite) runPackage(pkg *Package) []Diagnostic {
+// RunReport is Run plus the confinement report the whole-program pass
+// builds (nil when both laneconfined and laneescape are disabled). modRoot,
+// when non-empty, relativizes report file paths.
+func (s *Suite) RunReport(pkgs []*Package, modRoot string) ([]Diagnostic, *ConfinementReport) {
 	var raw []Diagnostic
-	for _, a := range Analyzers() {
-		if !s.enabled(a.Name) {
-			continue
+	var allows []*allowDirective
+	var dirDiags []Diagnostic
+	var fset *token.FileSet
+	for _, pkg := range pkgs {
+		fset = pkg.Fset
+		for _, a := range Analyzers() {
+			if a.Run == nil || !s.enabled(a.Name) {
+				continue
+			}
+			a.Run(&Pass{
+				Fset:  pkg.Fset,
+				Pkg:   pkg,
+				Cfg:   s.Cfg,
+				check: a.Name,
+				diags: &raw,
+			})
 		}
-		a.Run(&Pass{
-			Fset:  pkg.Fset,
-			Pkg:   pkg,
-			Cfg:   s.Cfg,
-			check: a.Name,
-			diags: &raw,
-		})
+		al, dd := collectDirectives(pkg)
+		allows = append(allows, al...)
+		dirDiags = append(dirDiags, dd...)
 	}
 
-	allows, dirDiags := collectDirectives(pkg)
+	allowT := newAllowTable(allows)
+	var rep *ConfinementReport
+	if len(pkgs) > 0 && (s.enabled(laneconfined.Name) || s.enabled(laneescape.Name)) {
+		prog := buildProgram(pkgs)
+		var cd []Diagnostic
+		cd, rep = analyzeConfinement(prog, s.Cfg, allowT, fset, modRoot,
+			s.enabled(laneconfined.Name), s.enabled(laneescape.Name))
+		raw = append(raw, cd...)
+	}
 
-	// An allow directive suppresses findings of its check on its own line
-	// and the line below (so it can trail the flagged statement or sit on
-	// its own line above it).
 	kept := raw[:0]
 	for _, d := range raw {
-		suppressed := false
-		for _, al := range allows {
-			if al.check == d.Check && al.file == d.File &&
-				(al.line == d.Line || al.line == d.Line-1) {
-				al.used = true
-				suppressed = true
-			}
+		if allowT.allowsAt(d.Check, d.File, d.Line) {
+			continue
 		}
-		if !suppressed {
-			kept = append(kept, d)
-		}
+		kept = append(kept, d)
 	}
 
 	if s.enabled(DirectiveCheck) {
@@ -253,7 +271,82 @@ func (s *Suite) runPackage(pkg *Package) []Diagnostic {
 			}
 		}
 	}
-	return kept
+
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+	return kept, rep
+}
+
+// WriteConfinementJSON writes the report as deterministic, indented JSON —
+// the byte format committed as testdata/confinement.golden.json and checked
+// by make lint-confinement.
+func WriteConfinementJSON(w io.Writer, rep *ConfinementReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// allowTable indexes allow directives by file for suppression and edge
+// cutting. Consecutive allow lines form one block: each directive in the
+// block matches every line of the block plus the first line after it, so a
+// statement can stack several audited suppressions above itself.
+type allowTable struct {
+	byFile map[string][]*allowDirective
+	lines  map[string]map[int]bool // file -> lines carrying an allow
+}
+
+func newAllowTable(allows []*allowDirective) *allowTable {
+	t := &allowTable{
+		byFile: map[string][]*allowDirective{},
+		lines:  map[string]map[int]bool{},
+	}
+	for _, al := range allows {
+		t.byFile[al.file] = append(t.byFile[al.file], al)
+		if t.lines[al.file] == nil {
+			t.lines[al.file] = map[int]bool{}
+		}
+		t.lines[al.file][al.line] = true
+	}
+	return t
+}
+
+// allowsAt reports whether an allow for check covers the given file:line,
+// marking every covering directive used.
+func (t *allowTable) allowsAt(check, file string, line int) bool {
+	lines := t.lines[file]
+	hit := false
+	for _, al := range t.byFile[file] {
+		if al.check != check {
+			continue
+		}
+		end := al.line
+		for lines[end+1] {
+			end++
+		}
+		if line >= al.line && line <= end+1 {
+			al.used = true
+			hit = true
+		}
+	}
+	return hit
 }
 
 // allowDirective is one parsed //numalint:allow comment.

@@ -1,0 +1,123 @@
+// Package bad seeds the call-graph shapes the whole-program laneconfined
+// check must chase: a violation three static calls deep, interface dispatch
+// with a dirty implementation, a call through a function-valued field,
+// recursion, a closure, a cross-package hop into the real internal/directory
+// package, and a lane-confined annotation no dispatch root reaches.
+package bad
+
+import (
+	"ccnuma/internal/directory"
+	"ccnuma/internal/mem"
+)
+
+type engine struct {
+	//numalint:machine-global
+	seq uint64
+
+	hook  func(int)
+	lanes []lane
+}
+
+//numalint:machine-global
+var clock int64
+
+type lane struct {
+	s     *engine
+	local int64
+}
+
+// ticker's unexported method keeps its implementations inside this package
+// (the resolver considers every named type in the program).
+type ticker interface{ tick() }
+
+type dirty struct{ s *engine }
+
+func (d dirty) tick() { d.s.seq++ }
+
+type clean struct{ n int64 }
+
+func (c *clean) tick() { c.n++ }
+
+// Root is this corpus's guarded-window dispatch root (the test's
+// ConfinementRoots names it): every annotated entry except orphan hangs
+// off it.
+func Root(l *lane, t ticker) {
+	l.ViaHelpers()
+	l.ViaIface(t)
+	l.ViaHook()
+	l.ViaRecursion(3)
+	l.ViaDirectory()
+	l.ViaClosure()
+}
+
+// ViaHelpers reaches the global only at depth three
+// (ViaHelpers → mid → bump), so the finding must carry the chain.
+//
+//numalint:lane-confined
+func (l *lane) ViaHelpers() { l.mid() }
+
+func (l *lane) mid() { l.bump() }
+
+func (l *lane) bump() { l.s.seq++ }
+
+// ViaIface dispatches through an interface: the resolver must consider both
+// implementations, and dirty.tick writes the global.
+//
+//numalint:lane-confined
+func (l *lane) ViaIface(t ticker) { t.tick() }
+
+// ViaHook calls through a function-valued field; spill is address-taken
+// below with the matching signature func(int) and writes the global clock.
+//
+//numalint:lane-confined
+func (l *lane) ViaHook() { l.s.hook(1) }
+
+func spill(n int) { clock += int64(n) }
+
+// take stores spill into the hook field — the taking that makes it an
+// indirect-call candidate.
+func take(e *engine) { e.hook = spill }
+
+// ViaRecursion loops through itself before touching the global; the
+// traversal must terminate and still report the access.
+//
+//numalint:lane-confined
+func (l *lane) ViaRecursion(n int) {
+	if n > 0 {
+		l.ViaRecursion(n - 1)
+		return
+	}
+	l.s.seq++
+}
+
+// ViaDirectory crosses into the real internal/directory package: Record can
+// flush a full batch, FlushPending invokes the onBatch function value, and
+// onHot — taken in newCounters with the matching signature — writes the
+// global.
+//
+//numalint:lane-confined
+func (l *lane) ViaDirectory() {
+	ctrs := newCounters()
+	ctrs.Record(mem.GPage(1), mem.CPUID(0), false, true)
+}
+
+func newCounters() *directory.Counters {
+	return directory.NewCounters(4, 2, 1, 1, 1, onHot)
+}
+
+func onHot(batch []directory.HotRef) { clock += int64(len(batch)) }
+
+// ViaClosure builds a closure that captures the lane and bumps the global;
+// the closure is its own node (ViaClosure$1) linked by a creation edge.
+//
+//numalint:lane-confined
+func (l *lane) ViaClosure() {
+	f := func() { l.s.seq++ }
+	f()
+}
+
+// orphan is annotated but nothing on the dispatch path calls it: the
+// staleness check must flag the directive.
+//
+//numalint:lane-confined
+func (l *lane) orphan() { l.local++ }

@@ -1,0 +1,111 @@
+// Package good mirrors bad's call-graph shapes with confined code that
+// stays on lane-owned state: the same chain depth, dispatch forms, and
+// cross-package call, none of which reach a machine-global — plus an
+// audited allow cutting a deliberately barrier-only edge. Every indirect
+// signature here (func(int32)) is disjoint from every taken function in the
+// bad package, so conservative matching cannot cross-contaminate.
+package good
+
+import (
+	"ccnuma/internal/directory"
+	"ccnuma/internal/mem"
+)
+
+type engine struct {
+	//numalint:machine-global
+	seq uint64
+
+	hook  func(int32)
+	lanes []lane
+}
+
+type lane struct {
+	s     *engine
+	jrnl  []int64
+	local int64
+}
+
+// quiet's unexported method keeps implementation scanning inside this
+// package; both implementations are lane-clean.
+type quiet interface{ hum() }
+
+type softA struct{ n int64 }
+
+func (a *softA) hum() { a.n++ }
+
+type softB struct{ n int64 }
+
+func (b softB) hum() { _ = b.n }
+
+// Root is the good dispatch root named in the test's ConfinementRoots: it
+// reaches every annotated entry, so none is stale.
+func Root(l *lane, q quiet) {
+	l.ViaHelpers()
+	l.ViaIface(q)
+	l.ViaHook()
+	l.ViaRecursion(3)
+	l.ViaDirectory(nil)
+	l.ViaClosure()
+	l.SerialPath()
+}
+
+// ViaHelpers journals through the same depth-three chain as bad's.
+//
+//numalint:lane-confined
+func (l *lane) ViaHelpers() { l.mid() }
+
+func (l *lane) mid() { l.bump() }
+
+func (l *lane) bump() { l.jrnl = append(l.jrnl, l.local) }
+
+//numalint:lane-confined
+func (l *lane) ViaIface(q quiet) { q.hum() }
+
+// ViaHook's function-valued field has a signature disjoint from every taken
+// function in the bad package, so the candidate set stays clean.
+//
+//numalint:lane-confined
+func (l *lane) ViaHook() { l.s.hook(2) }
+
+func note(n int32) { _ = n }
+
+func take(e *engine) { e.hook = note }
+
+//numalint:lane-confined
+func (l *lane) ViaRecursion(n int) {
+	if n > 0 {
+		l.ViaRecursion(n - 1)
+		return
+	}
+	l.local++
+}
+
+// ViaDirectory reads the real internal/directory counters through Miss — a
+// pure query that triggers no batch callback.
+//
+//numalint:lane-confined
+func (l *lane) ViaDirectory(ctrs *directory.Counters) {
+	if ctrs != nil {
+		l.local += int64(ctrs.Miss(mem.GPage(1), mem.CPUID(0)))
+	}
+}
+
+// ViaClosure calls its literal directly, so the literal is never taken and
+// program-wide indirect matching never considers it.
+//
+//numalint:lane-confined
+func (l *lane) ViaClosure() {
+	func() { l.local++ }()
+}
+
+// SerialPath demonstrates the audited edge cut: drain touches the global,
+// but the call edge carries an allow arguing the path only runs at the
+// barrier, so the traversal stops there and the report counts a cut.
+//
+//numalint:lane-confined
+func (l *lane) SerialPath() {
+	//numalint:allow laneconfined drain is dispatched by the barrier fallback only, never inside a window
+	l.drain()
+}
+
+func (l *lane) drain() { l.s.seq++ }

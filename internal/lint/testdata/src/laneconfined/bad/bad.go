@@ -9,9 +9,15 @@ type engine struct {
 	now int64
 	//numalint:machine-global
 	seq uint64
+	//numalint:machine-global
+	merge *mergeState
 
 	lanes []lane
 }
+
+// mergeState is barrier-owned scratch reached through the machine-global
+// merge pointer.
+type mergeState struct{ tally int64 }
 
 type lane struct {
 	s     *engine
@@ -30,6 +36,18 @@ func (l *lane) Run() {
 	l.local = l.s.now
 	l.s.seq++
 	fired++
+}
+
+// RunAlias smuggles the global out through local aliases: the direct read
+// that creates the alias is one finding, and every later use of an alias —
+// including an alias of the alias — is another.
+//
+//numalint:lane-confined
+func (l *lane) RunAlias(t int64) {
+	m := l.s.merge
+	m.tally = t
+	m2 := m
+	m2.tally++
 }
 
 // Merge is unannotated: the barrier owns the globals and may touch them.

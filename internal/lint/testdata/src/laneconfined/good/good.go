@@ -28,6 +28,16 @@ func (l *lane) Run() {
 	l.jrnl = append(l.jrnl, l.local)
 }
 
+// RunAlias aliases only lane-owned state: the alias machinery must not
+// taint locals rooted in the lane itself.
+//
+//numalint:lane-confined
+func (l *lane) RunAlias() {
+	j := l.jrnl
+	j = append(j, l.local)
+	l.jrnl = j
+}
+
 // Merge is the barrier: unannotated, so the machine-global clock is fair
 // game.
 func (e *engine) Merge() {

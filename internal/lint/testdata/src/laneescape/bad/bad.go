@@ -1,0 +1,55 @@
+// Package bad seeds the escape hatches the laneescape check must reject:
+// go statements and channel sends reachable from lane-confined code, and
+// machine-global-derived values handed to lane-confined code as arguments.
+package bad
+
+type engine struct {
+	//numalint:machine-global
+	now int64
+
+	lanes []lane
+	wake  chan int64
+}
+
+type lane struct {
+	s     *engine
+	local int64
+}
+
+// Spawn is lane-confined yet forks a goroutine: the spawned work outlives
+// the window's ordering guarantees.
+//
+//numalint:lane-confined
+func (l *lane) Spawn() {
+	go func() { l.local++ }()
+}
+
+// Send is lane-confined yet pushes on a channel shared with the barrier.
+//
+//numalint:lane-confined
+func (l *lane) Send(v int64) {
+	l.s.wake <- v
+}
+
+// SpillDeep hides the send one call down; the finding must carry the chain.
+//
+//numalint:lane-confined
+func (l *lane) SpillDeep(v int64) { l.relay(v) }
+
+func (l *lane) relay(v int64) { l.s.wake <- v }
+
+// Deliver is confined and clean in itself — the violations are at its call
+// sites in Feed, where machine-global-derived values flow in by argument.
+//
+//numalint:lane-confined
+func (l *lane) Deliver(v int64) { l.local = v }
+
+// Feed runs at the barrier (unannotated) but leaks the machine-global clock
+// into confined code: once directly, once through an alias chain.
+func (e *engine) Feed() {
+	l := &e.lanes[0]
+	l.Deliver(e.now)
+	t := e.now
+	u := t
+	l.Deliver(u + 1)
+}

@@ -1,0 +1,52 @@
+// Package good holds the boundary idioms the laneescape check must accept:
+// the barrier using goroutines and channels freely, and only lane-owned
+// values flowing into confined code.
+package good
+
+type engine struct {
+	//numalint:machine-global
+	now int64
+
+	lanes []lane
+}
+
+type lane struct {
+	s     *engine
+	local int32
+	jrnl  []int32
+}
+
+// Deliver is confined; every value handed to it below is lane-owned.
+//
+//numalint:lane-confined
+func (l *lane) Deliver(v int32) { l.local = v }
+
+// Journal is confined and appends to the lane-owned journal — the
+// sanctioned way to publish effects (the barrier drains it serially).
+//
+//numalint:lane-confined
+func (l *lane) Journal(v int32) { l.jrnl = append(l.jrnl, v) }
+
+// Merge is the barrier: unannotated, so goroutines, channels, and the
+// machine-global clock are all fair game here.
+func (e *engine) Merge() {
+	done := make(chan int32, len(e.lanes))
+	for i := range e.lanes {
+		l := &e.lanes[i]
+		go func() { done <- l.local }()
+	}
+	for range e.lanes {
+		e.now += int64(<-done)
+	}
+}
+
+// Feed hands confined code lane-owned values: using the clock to pick WHICH
+// lane is fine — the clock value itself never crosses the boundary.
+func (e *engine) Feed() {
+	l := &e.lanes[int(e.now)%len(e.lanes)]
+	l.Deliver(l.local)
+	l.Journal(l.local + 1)
+	v := e.now
+	v = int64(l.local) // reassigned clean: the alias to the clock is broken
+	l.Deliver(int32(v))
+}

@@ -282,6 +282,13 @@ func (l *Lane) runGuardedLane() (err any) {
 			st.NoteLaneDispatch(int(l.idx))
 		}
 		l.parentAt, l.parentSeq, l.parentOrder = it.at, it.seq, 0
+		// The handler table reaches every registered kind, but a window
+		// only ever holds events the planner admitted — and core's
+		// TestPlannerAdmissibleSetIsProven pins that admissible set to the
+		// analyzer's proven-confined entries, so the conservative edge to
+		// every handler is the one cut the proof may lean on.
+		//numalint:allow laneconfined window events are planner-admitted; the admissible set is pinned to the proven entries
+		//numalint:allow laneescape window events are planner-admitted; the proven entries contain no go/send
 		l.s.handlers[it.kind](l, l.now, it.arg)
 	}
 	l.cand = l.cand[:0]

@@ -587,6 +587,7 @@ func (l *Lane) AtKind(at Time, k Kind, arg uint64) {
 		return
 	}
 	if !s.concurrent {
+		//numalint:allow laneconfined inside a window inWindow routed to deferSchedule above; the serialized-merge fallback never runs concurrently
 		s.AtKind(at, k, arg)
 		return
 	}
